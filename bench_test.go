@@ -1,0 +1,227 @@
+package tdpipe
+
+// One benchmark per paper table and figure: each regenerates the
+// corresponding result on the simulated substrate and reports the
+// headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Scale is experiments.Quick() (4,000
+// requests); run cmd/tdpipe -paper for paper scale.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+func getBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() { benchEnv, benchEnvErr = experiments.NewEnv(experiments.Quick()) })
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1GPUs regenerates the hardware catalog (paper Table 1).
+func BenchmarkTable1GPUs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.FormatTable1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Models regenerates the model catalog (paper Table 2).
+func BenchmarkTable2Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.FormatTable2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig2Utilization regenerates the utilization-timeline
+// comparison (paper Fig. 2) and reports both means.
+func BenchmarkFig2Utilization(b *testing.B) {
+	env := getBenchEnv(b)
+	var r *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.TDPipeMean, "tdpipe-util-%")
+	b.ReportMetric(100*r.BaselineMean, "pphb-util-%")
+}
+
+// BenchmarkFig6TPBreakdown regenerates the TP prefill compute/comm
+// breakdown (paper Fig. 6) and reports the 4-GPU communication shares.
+func BenchmarkFig6TPBreakdown(b *testing.B) {
+	env := getBenchEnv(b)
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig6(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.GPUs == 4 {
+			b.ReportMetric(100*r.CommFrac, r.Node+"-comm-%")
+		}
+	}
+}
+
+// BenchmarkFig11Overall regenerates the overall performance grid (paper
+// Fig. 11) and reports TD-Pipe's best speedups over TP+SB and PP+SB at
+// 4 GPUs.
+func BenchmarkFig11Overall(b *testing.B) {
+	env := getBenchEnv(b)
+	var cells []experiments.Fig11Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = experiments.Fig11(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var maxTP, maxPP, tdBest float64
+	for _, combo := range experiments.Fig11Combos() {
+		td, _ := experiments.FindCell(cells, combo.Node.Name, combo.Spec.Name, 4, "TD-Pipe")
+		tp, _ := experiments.FindCell(cells, combo.Node.Name, combo.Spec.Name, 4, "TP+SB")
+		pp, _ := experiments.FindCell(cells, combo.Node.Name, combo.Spec.Name, 4, "PP+SB")
+		if td.TokensPerSec > tdBest {
+			tdBest = td.TokensPerSec
+		}
+		if !tp.OOM && td.TokensPerSec/tp.TokensPerSec > maxTP {
+			maxTP = td.TokensPerSec / tp.TokensPerSec
+		}
+		if !pp.OOM && td.TokensPerSec/pp.TokensPerSec > maxPP {
+			maxPP = td.TokensPerSec / pp.TokensPerSec
+		}
+	}
+	b.ReportMetric(tdBest, "tdpipe-tokens/s")
+	b.ReportMetric(maxTP, "speedup-vs-TP+SB")
+	b.ReportMetric(maxPP, "speedup-vs-PP+SB")
+}
+
+// BenchmarkFig12KVUsage regenerates the KV fluctuation trace (paper
+// Fig. 12) and reports peak usage and phase switches.
+func BenchmarkFig12KVUsage(b *testing.B) {
+	env := getBenchEnv(b)
+	var r *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig12(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.Peak, "kv-peak-%")
+	b.ReportMetric(float64(r.PhaseSwitches), "switches")
+}
+
+// BenchmarkFig13GreedyPrefill regenerates the prefill-to-decode
+// switching ablation (paper Fig. 13).
+func BenchmarkFig13GreedyPrefill(b *testing.B) {
+	env := getBenchEnv(b)
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig13(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAdaptive(b, rows)
+}
+
+// BenchmarkFig14Predictor regenerates the prediction-quality study
+// (paper Fig. 14 and §4.4.1 accuracies).
+func BenchmarkFig14Predictor(b *testing.B) {
+	env := getBenchEnv(b)
+	var r *experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig14(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var accSum, err256 float64
+	for i := range r.ModelNames {
+		accSum += r.Accuracies[i]
+		err256 += r.AccumErr[i][len(r.AccumErr[i])-2] // group size 256
+	}
+	b.ReportMetric(accSum/float64(len(r.ModelNames)), "mean-accuracy")
+	b.ReportMetric(100*err256/float64(len(r.ModelNames)), "err-at-256-%")
+}
+
+// BenchmarkFig15WorkStealing regenerates the stealing ablation (paper
+// Fig. 15) and reports the wi/wo gain.
+func BenchmarkFig15WorkStealing(b *testing.B) {
+	env := getBenchEnv(b)
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig15(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var wi, wo float64
+	for _, r := range rows {
+		if r.Label == "wi" {
+			wi += r.TokensPerSec
+		} else {
+			wo += r.TokensPerSec
+		}
+	}
+	if wo > 0 {
+		b.ReportMetric(wi/wo, "stealing-gain")
+	}
+}
+
+// BenchmarkFig16IntensitySwitch regenerates the decode-to-prefill
+// switching ablation (paper Fig. 16).
+func BenchmarkFig16IntensitySwitch(b *testing.B) {
+	env := getBenchEnv(b)
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig16(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAdaptive(b, rows)
+}
+
+// reportAdaptive reports the adaptive (TD-Pipe) throughput and its
+// ratio over the best fixed hyperparameter.
+func reportAdaptive(b *testing.B, rows []experiments.AblationRow) {
+	var adaptive, bestFixed float64
+	for _, r := range rows {
+		if r.Label == "TD-Pipe" {
+			adaptive += r.TokensPerSec
+		} else if r.TokensPerSec > bestFixed {
+			bestFixed = r.TokensPerSec
+		}
+	}
+	b.ReportMetric(adaptive, "tdpipe-tokens/s")
+	if bestFixed > 0 {
+		b.ReportMetric(adaptive/2/bestFixed, "vs-best-fixed")
+	}
+}

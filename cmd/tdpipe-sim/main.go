@@ -1,0 +1,189 @@
+// Command tdpipe-sim runs a single simulated deployment and prints its
+// report, optionally exporting timelines for external plotting.
+//
+// Usage:
+//
+//	tdpipe-sim -node A100 -model 70B -gpus 4 -sched tdpipe -requests 2000
+//	tdpipe-sim -sched pp+hb -node L20 -model 32B -out run/   # CSV + JSON
+//
+// Schedulers: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/offload"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		nodeName  = flag.String("node", "A100", "node: L20 or A100")
+		modelName = flag.String("model", "70B", "model: 13B, 32B, 70B")
+		gpus      = flag.Int("gpus", 4, "number of GPUs")
+		sched     = flag.String("sched", "tdpipe", "scheduler: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload")
+		requests  = flag.Int("requests", 2000, "number of requests")
+		pool      = flag.Int("pool", 20000, "corpus size for predictor training")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		outDir    = flag.String("out", "", "directory for CSV/JSON export (optional)")
+		oracle    = flag.Bool("oracle", false, "use the oracle length predictor instead of the trained classifier")
+	)
+	flag.Parse()
+	if err := run(*nodeName, *modelName, *gpus, *sched, *requests, *pool, *seed, *outDir, *oracle); err != nil {
+		fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func pickNode(name string) (hw.Node, error) {
+	switch strings.ToUpper(name) {
+	case "L20":
+		return hw.L20, nil
+	case "A100":
+		return hw.A100, nil
+	}
+	return hw.Node{}, fmt.Errorf("unknown node %q (L20, A100)", name)
+}
+
+func pickModel(name string) (model.Spec, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "13B", "LLAMA2-13B", "LLAMA2-13B-CHAT":
+		return model.Llama2_13B, nil
+	case "32B", "QWEN2.5-32B", "QWEN2.5-32B-INSTRUCT":
+		return model.Qwen2_5_32B, nil
+	case "70B", "LLAMA2-70B", "LLAMA2-70B-CHAT":
+		return model.Llama2_70B, nil
+	}
+	return model.Spec{}, fmt.Errorf("unknown model %q (13B, 32B, 70B)", name)
+}
+
+func run(nodeName, modelName string, gpus int, sched string, requests, poolSize int, seed int64, outDir string, oracle bool) error {
+	node, err := pickNode(nodeName)
+	if err != nil {
+		return err
+	}
+	spec, err := pickModel(modelName)
+	if err != nil {
+		return err
+	}
+	if requests > poolSize {
+		poolSize = requests
+	}
+	pool, err := workload.Generate(workload.DefaultConfig(poolSize, seed))
+	if err != nil {
+		return err
+	}
+	reqs := workload.Sample(pool, requests, seed+1000)
+
+	var rep metrics.Report
+	var rec *metrics.Recorder
+	var kv []metrics.KVPoint
+
+	switch strings.ToLower(sched) {
+	case "tdpipe", "td-pipe":
+		cfg := core.DefaultConfig(node, spec, gpus)
+		cfg.RecordKV = true
+		if !oracle {
+			train, _, _ := workload.Split(pool, 0.6, 0.2)
+			clf, err := predictor.Train(train, predictor.DefaultTrainConfig())
+			if err != nil {
+				return err
+			}
+			cfg.Predictor = clf
+		}
+		res, err := core.Run(cfg, reqs)
+		if err != nil {
+			return err
+		}
+		rep, rec = res.Report, res.Rec
+		if res.KV != nil {
+			kv = res.KV.Points
+		}
+	case "tp+sb", "tp+hb", "pp+sb", "pp+hb":
+		var m baselines.Method
+		switch strings.ToLower(sched) {
+		case "tp+sb":
+			m = baselines.TPSB
+		case "tp+hb":
+			m = baselines.TPHB
+		case "pp+sb":
+			m = baselines.PPSB
+		default:
+			m = baselines.PPHB
+		}
+		res, err := baselines.Run(baselines.DefaultConfig(node, spec, gpus, m), reqs)
+		if err != nil {
+			return err
+		}
+		rep, rec = res.Report, res.Rec
+	case "offload":
+		res, err := offload.Run(offload.DefaultConfig(node, spec, gpus), reqs)
+		if err != nil {
+			return err
+		}
+		rep = res.Report
+	default:
+		return fmt.Errorf("unknown scheduler %q", sched)
+	}
+
+	fmt.Println(rep)
+	fmt.Printf("output throughput: %.0f tokens/s, total: %.0f tokens/s\n", rep.OutputThroughput(), rep.TotalThroughput())
+
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var util []metrics.UtilPoint
+	if rec != nil {
+		util = rec.Timeline(rep.Elapsed/200, rep.Elapsed)
+		f, err := os.Create(filepath.Join(outDir, "utilization.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteUtilizationCSV(f, util); err != nil {
+			return err
+		}
+		g, err := os.Create(filepath.Join(outDir, "busy_intervals.csv"))
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		if err := trace.WriteBusyIntervalsCSV(g, rec); err != nil {
+			return err
+		}
+	}
+	if kv != nil {
+		f, err := os.Create(filepath.Join(outDir, "kv_usage.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteKVCSV(f, kv); err != nil {
+			return err
+		}
+	}
+	j, err := os.Create(filepath.Join(outDir, "run.json"))
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	if err := trace.WriteRunJSON(j, trace.Run{Report: rep, Utilization: util, KV: kv}); err != nil {
+		return err
+	}
+	fmt.Printf("exported timelines to %s\n", outDir)
+	return nil
+}

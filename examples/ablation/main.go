@@ -1,0 +1,68 @@
+// Ablation: sweep the knobs behind TD-Pipe's three approaches on one
+// configuration, mirroring the paper's §4.4 study — fixed
+// prefill-to-decode switch ratios vs. AI-based greedy prefill, work
+// stealing on/off, and fixed decode-to-prefill finish ratios vs. the
+// spatial-temporal intensity comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	node, spec, world := tdpipe.A100, tdpipe.Llama2_70B, 4
+
+	trace, err := tdpipe.NewTrace(16000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := tdpipe.TrainPredictor(trace.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := trace.Sample(3000, 11)
+
+	run := func(mutate func(*tdpipe.Config)) float64 {
+		cfg := tdpipe.NewConfig(node, spec, world)
+		cfg.Predictor = clf
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := tdpipe.Run(cfg, job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Report.OutputThroughput()
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ablation\tsetting\ttokens/s")
+
+	fmt.Println("Approach 1: prefill-to-decode switch (Fig. 13)")
+	for _, ratio := range []float64{0.20, 0.50, 0.80, 0.95} {
+		r := ratio
+		fmt.Fprintf(w, "fixed KV ratio\t%.0f%%\t%.0f\n", 100*r,
+			run(func(c *tdpipe.Config) { c.FixedPrefillSwitchRatio = r }))
+	}
+	fmt.Fprintf(w, "AI-based greedy prefill\tTD-Pipe\t%.0f\n", run(nil))
+	w.Flush()
+
+	fmt.Println("\nApproach 2: inter-batch work stealing (Fig. 15)")
+	fmt.Fprintf(w, "stealing\two\t%.0f\n", run(func(c *tdpipe.Config) { c.DisableWorkStealing = true }))
+	fmt.Fprintf(w, "stealing\twi\t%.0f\n", run(nil))
+	w.Flush()
+
+	fmt.Println("\nApproach 3: decode-to-prefill switch (Fig. 16)")
+	for _, ratio := range []float64{0.80, 0.50, 0.20, 0.05} {
+		r := ratio
+		fmt.Fprintf(w, "fixed finish ratio\t%.0f%%\t%.0f\n", 100*r,
+			run(func(c *tdpipe.Config) { c.FixedDecodeSwitchRatio = r }))
+	}
+	fmt.Fprintf(w, "intensity comparison\tTD-Pipe\t%.0f\n", run(nil))
+	w.Flush()
+}

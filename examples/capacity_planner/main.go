@@ -1,0 +1,37 @@
+// Capacity planner: before launching a job, check which node-model-GPU
+// combinations fit at all and how many tokens of KV cache each leaves —
+// the quantity that determines decode batch sizes and therefore
+// throughput (paper §2.2.1). Reproduces the OOM pattern of Figure 11.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "node\tmodel\tGPUs\tKV capacity\tresident requests*")
+	for _, node := range hw.Nodes() {
+		for _, spec := range model.Models() {
+			for _, gpus := range []int{1, 2, 4} {
+				cfg := core.DefaultConfig(node, spec, gpus)
+				capTok, err := core.KVCapacityTokens(cfg)
+				if err != nil {
+					fmt.Fprintf(w, "%s\t%s\t%d\tOOM\t-\n", node.Name, spec.Name, gpus)
+					continue
+				}
+				// Rough resident count at a typical 600-token footprint.
+				fmt.Fprintf(w, "%s\t%s\t%d\t%d tokens\t~%d\n",
+					node.Name, spec.Name, gpus, capTok, capTok/600)
+			}
+		}
+	}
+	w.Flush()
+	fmt.Println("\n* at an average input+output footprint of 600 tokens per request")
+}

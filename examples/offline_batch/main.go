@@ -1,0 +1,60 @@
+// Offline batch API: the paper's motivating scenario (§1) — a large
+// batch of requests with no latency SLO, where throughput is the only
+// objective. This example runs the same job under TD-Pipe and all four
+// vLLM-style baselines on a 4x L20 node serving Qwen2.5-32B and prints
+// the comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	node, spec, world := tdpipe.L20, tdpipe.Qwen2_5_32B, 4
+
+	trace, err := tdpipe.NewTrace(20000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := tdpipe.TrainPredictor(trace.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := trace.Sample(4000, 7)
+
+	fmt.Printf("offline batch job: %d requests on 4x %s + %s\n\n", len(job), node.GPU.Name, spec.Name)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheduler\ttokens/s\tutil\trelative")
+
+	var tdThroughput float64
+	report := func(name string, tput, util float64) {
+		rel := "1.00x"
+		if tdThroughput > 0 {
+			rel = fmt.Sprintf("%.2fx", tput/tdThroughput)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f%%\t%s\n", name, tput, 100*util, rel)
+	}
+
+	cfg := tdpipe.NewConfig(node, spec, world)
+	cfg.Predictor = clf
+	res, err := tdpipe.Run(cfg, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tdThroughput = res.Report.OutputThroughput()
+	report("TD-Pipe", tdThroughput, res.Report.MeanUtilization)
+
+	for _, m := range []tdpipe.BaselineMethod{tdpipe.TPSB, tdpipe.TPHB, tdpipe.PPSB, tdpipe.PPHB} {
+		bres, err := tdpipe.RunBaseline(tdpipe.NewBaselineConfig(node, spec, world, m), job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(bres.Report.Scheduler, bres.Report.OutputThroughput(), bres.Report.MeanUtilization)
+	}
+	w.Flush()
+}

@@ -1,0 +1,41 @@
+// Quickstart: run TD-Pipe on a simulated 4x A100 node serving
+// Llama2-70B over a small ShareGPT-like trace, and print the resulting
+// throughput report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Build a ShareGPT-like corpus and train the output-length
+	//    predictor on its 60% historical split.
+	trace, err := tdpipe.NewTrace(4000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := tdpipe.TrainPredictor(trace.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Configure TD-Pipe: Llama2-70B pipelined across the four
+	//    A100s of a PCIe node.
+	cfg := tdpipe.NewConfig(tdpipe.A100, tdpipe.Llama2_70B, 4)
+	cfg.Predictor = clf
+
+	// 3. Run 1,000 requests to completion in virtual time.
+	reqs := trace.Sample(1000, 42)
+	res, err := tdpipe.Run(cfg, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Report)
+	fmt.Printf("output throughput: %.0f tokens/s\n", res.Report.OutputThroughput())
+	fmt.Printf("GPU utilization:   %.1f%%\n", 100*res.Report.MeanUtilization)
+	fmt.Printf("phase switches:    %d\n", res.Report.PhaseSwitches)
+}

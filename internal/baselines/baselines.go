@@ -1,0 +1,369 @@
+// Package baselines implements the four vLLM-style schedulers the paper
+// compares against (§4.1), on exactly the same simulated substrate as
+// TD-Pipe:
+//
+//	TP+SB — tensor parallelism with separate batching (vLLM default):
+//	        prefill-prioritized continuous batching, two all-reduces
+//	        per layer.
+//	TP+HB — tensor parallelism with hybrid batching and chunked
+//	        prefill: a per-iteration token budget mixes decodes with
+//	        prefill chunks.
+//	PP+SB — pipeline parallelism with separate batching: per-slot
+//	        continuous batching interleaves prefill batches and decode
+//	        steps, suffering the Fig.-1 bubbles.
+//	PP+HB — pipeline parallelism with hybrid batching and chunked
+//	        prefill.
+//
+// All four use the paper's recompute strategy on KV overflow: the most
+// recently admitted requests are evicted and requeued for re-prefill.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Method selects a baseline scheduler.
+type Method int
+
+// The four baselines.
+const (
+	TPSB Method = iota
+	TPHB
+	PPSB
+	PPHB
+)
+
+func (m Method) String() string {
+	switch m {
+	case TPSB:
+		return "TP+SB"
+	case TPHB:
+		return "TP+HB"
+	case PPSB:
+		return "PP+SB"
+	case PPHB:
+		return "PP+HB"
+	}
+	return "unknown"
+}
+
+// IsTP reports whether the method shards tensors rather than layers.
+func (m Method) IsTP() bool { return m == TPSB || m == TPHB }
+
+// Methods lists all four baselines in the paper's order.
+func Methods() []Method { return []Method{TPSB, TPHB, PPSB, PPHB} }
+
+// Config parameterizes a baseline run.
+type Config struct {
+	Node  hw.Node
+	Spec  model.Spec
+	World int
+	// Method picks the scheduler.
+	Method Method
+	// MemUtilization mirrors vLLM's gpu_memory_utilization.
+	MemUtilization float64
+	// ReserveGB is per-GPU memory withheld for activations, CUDA
+	// context and NCCL workspace.
+	ReserveGB float64
+	// BlockSize is KV block granularity in tokens.
+	BlockSize int
+	// MaxPrefillTokens caps a separate-batching prefill batch.
+	MaxPrefillTokens int
+	// ChunkTokens is the hybrid-batching per-iteration token budget
+	// (vLLM's max_num_batched_tokens for chunked prefill).
+	ChunkTokens int
+	// MaxBatch caps requests per running batch (vLLM max_num_seqs).
+	MaxBatch int
+	// SchedBaseOverhead and SchedPerSeqOverhead model the synchronous
+	// engine-loop scheduling gap paid before every iteration (batch
+	// assembly, output processing, block-table updates) in seconds and
+	// seconds-per-sequence. In stock vLLM this work sits on the
+	// critical path and serializes across pipeline microbatches —
+	// the cost TD-Pipe's hierarchy-controller moves off the execution
+	// plane (§3.2).
+	SchedBaseOverhead   float64
+	SchedPerSeqOverhead float64
+}
+
+// DefaultConfig returns vLLM-like defaults.
+func DefaultConfig(node hw.Node, spec model.Spec, world int, m Method) Config {
+	return Config{
+		Node:                node,
+		Spec:                spec,
+		World:               world,
+		Method:              m,
+		MemUtilization:      0.90,
+		ReserveGB:           3,
+		BlockSize:           16,
+		MaxPrefillTokens:    2048,
+		ChunkTokens:         512,
+		MaxBatch:            1024,
+		SchedBaseOverhead:   2e-3,
+		SchedPerSeqOverhead: 25e-6,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.World <= 0:
+		return fmt.Errorf("baselines: world = %d", c.World)
+	case c.MemUtilization <= 0 || c.MemUtilization > 1:
+		return fmt.Errorf("baselines: MemUtilization = %v", c.MemUtilization)
+	case c.MaxPrefillTokens <= 0 || c.ChunkTokens <= 0 || c.MaxBatch <= 0:
+		return fmt.Errorf("baselines: non-positive batching limits")
+	}
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	return c.Spec.Validate()
+}
+
+// schedOverhead returns the engine-loop gap before an iteration over
+// seqs sequences.
+func (c Config) schedOverhead(seqs int) float64 {
+	return c.SchedBaseOverhead + float64(seqs)*c.SchedPerSeqOverhead
+}
+
+// kvCapacity computes usable KV tokens for the deployment.
+func kvCapacity(cfg Config) (int, error) {
+	if cfg.Method.IsTP() {
+		sh, err := model.TensorParallel(cfg.Spec, cfg.World)
+		if err != nil {
+			return 0, err
+		}
+		avail := cfg.Node.GPU.MemBytes()*cfg.MemUtilization - cfg.ReserveGB*1e9 - sh.RankWeightBytes()
+		if avail <= 0 {
+			return 0, fmt.Errorf("baselines: OOM: TP rank weights %.1f GB exceed usable memory", sh.RankWeightBytes()/1e9)
+		}
+		capTok := int(avail / sh.RankKVBytesPerToken())
+		if capTok < cfg.MaxPrefillTokens {
+			return 0, fmt.Errorf("baselines: OOM: capacity %d tokens below one batch", capTok)
+		}
+		return capTok, nil
+	}
+	plan, err := model.Partition(cfg.Spec, cfg.World)
+	if err != nil {
+		return 0, err
+	}
+	capTok := -1
+	for st := range plan.Stages {
+		avail := cfg.Node.GPU.MemBytes()*cfg.MemUtilization - cfg.ReserveGB*1e9 - plan.StageWeightBytes(st)
+		if avail <= 0 {
+			return 0, fmt.Errorf("baselines: OOM: stage %d weights exceed usable memory", st)
+		}
+		t := int(avail / plan.StageKVBytesPerToken(st))
+		if capTok < 0 || t < capTok {
+			capTok = t
+		}
+	}
+	if capTok < cfg.MaxPrefillTokens {
+		return 0, fmt.Errorf("baselines: OOM: capacity %d tokens below one batch", capTok)
+	}
+	return capTok, nil
+}
+
+// reqState mirrors core's request tracking.
+type reqState struct {
+	req        workload.Request
+	ctx        int // cached tokens
+	prefilled  int // prompt tokens already prefilled (chunked prefill)
+	generated  int
+	prefillLen int
+	done       bool
+	evicted    bool
+	finishedAt sim.Time
+}
+
+// Result is the outcome of a baseline run.
+type Result struct {
+	Report metrics.Report
+	Rec    *metrics.Recorder
+}
+
+// Run executes the trace under the configured baseline and returns its
+// report.
+func Run(cfg Config, reqs []workload.Request) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	capTok, err := kvCapacity(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kv, err := kvcache.NewManager(capTok, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]*reqState, len(reqs))
+	for i, r := range reqs {
+		if r.ID != i {
+			return nil, fmt.Errorf("baselines: request IDs must be dense 0..n-1")
+		}
+		states[i] = &reqState{req: r, prefillLen: r.InputLen}
+	}
+	var runner interface {
+		run() (sim.Time, error)
+		recorder() *metrics.Recorder
+		recomputes() int
+	}
+	base := &common{cfg: cfg, kv: kv, states: states}
+	for i := range states {
+		base.waiting = append(base.waiting, i)
+	}
+	if cfg.Method.IsTP() {
+		runner = newTPRunner(base)
+	} else {
+		r, err := newPPRunner(base)
+		if err != nil {
+			return nil, err
+		}
+		runner = r
+	}
+	end, err := runner.run()
+	if err != nil {
+		return nil, err
+	}
+	rep := metrics.Report{
+		Scheduler: cfg.Method.String(),
+		Node:      cfg.Node.Name,
+		Model:     cfg.Spec.Name,
+		GPUs:      cfg.World,
+		Requests:  len(reqs),
+		Elapsed:   float64(end),
+	}
+	for _, st := range states {
+		rep.InputTokens += st.req.InputLen
+		rep.OutputTokens += st.generated
+	}
+	rec := runner.recorder()
+	rep.MeanUtilization = rec.MeanUtilization(0, float64(end))
+	rep.BubbleRatio = 1 - rep.MeanUtilization
+	rep.Recomputes = runner.recomputes()
+	rep.KVPeakUsage = float64(kv.PeakBlocks()) / float64(kv.CapacityBlocks())
+	return &Result{Report: rep, Rec: rec}, nil
+}
+
+// common holds scheduler-independent state.
+type common struct {
+	cfg        Config
+	kv         *kvcache.Manager
+	states     []*reqState
+	waiting    []int
+	finished   int
+	nRecompute int
+}
+
+// admitPrefill packs the next separate-batching prefill batch from the
+// waiting queue, allocating KV. Returns nil if nothing fits.
+func (c *common) admitPrefill() (ids []int, lens []int) {
+	tokens := 0
+	for len(c.waiting) > 0 && tokens < c.cfg.MaxPrefillTokens && len(ids) < c.cfg.MaxBatch {
+		id := c.waiting[0]
+		st := c.states[id]
+		if !c.kv.CanAllocate(st.prefillLen) {
+			break
+		}
+		if err := c.kv.Allocate(id, st.prefillLen); err != nil {
+			break
+		}
+		c.waiting = c.waiting[1:]
+		st.evicted = false
+		ids = append(ids, id)
+		lens = append(lens, st.prefillLen)
+		tokens += st.prefillLen
+	}
+	return ids, lens
+}
+
+// completePrefill marks a separate-batching prefill batch done at t.
+// It returns the ids that continue into decode.
+func (c *common) completePrefill(ids []int, t sim.Time) []int {
+	var live []int
+	for _, id := range ids {
+		st := c.states[id]
+		if st.evicted {
+			continue
+		}
+		st.ctx = st.prefillLen
+		st.prefilled = st.prefillLen
+		st.generated++
+		if st.generated >= st.req.OutputLen {
+			c.finishReq(id, t)
+		} else {
+			live = append(live, id)
+		}
+	}
+	return live
+}
+
+// decodeAppend advances one decode token for id, evicting most-recent
+// requests on OOM (the recompute strategy). keep lists ids that must
+// not be evicted. It reports whether the request finished.
+func (c *common) decodeAppend(id int, t sim.Time, keep map[int]bool) (finished bool) {
+	st := c.states[id]
+	st.generated++
+	st.ctx++
+	if st.generated >= st.req.OutputLen {
+		// The final token needs no KV slot; the request is done.
+		c.finishReq(id, t)
+		return true
+	}
+	if err := c.kv.Append(id, 1); err != nil {
+		victims := c.kv.EvictMostRecent(c.kv.BlocksFor(1), keep)
+		for _, v := range victims {
+			c.evict(v)
+		}
+		if err := c.kv.Append(id, 1); err != nil {
+			c.kv.Free(id)
+			c.evict(id)
+		}
+	}
+	return false
+}
+
+func (c *common) evict(id int) {
+	st := c.states[id]
+	st.evicted = true
+	st.prefillLen = st.req.InputLen + st.generated
+	st.ctx = 0
+	st.prefilled = 0
+	c.nRecompute++
+	c.waiting = append([]int{id}, c.waiting...)
+}
+
+func (c *common) finishReq(id int, t sim.Time) {
+	st := c.states[id]
+	st.done = true
+	st.finishedAt = t
+	c.kv.Free(id)
+	c.finished++
+}
+
+// live filters ids down to non-evicted, non-done entries.
+func (c *common) live(ids []int) []int {
+	out := ids[:0]
+	for _, id := range ids {
+		st := c.states[id]
+		if !st.evicted && !st.done {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// kvTokens sums cached tokens of ids.
+func (c *common) kvTokens(ids []int) int {
+	n := 0
+	for _, id := range ids {
+		n += c.states[id].ctx
+	}
+	return n
+}

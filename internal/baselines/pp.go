@@ -1,0 +1,293 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// ppRunner executes the PP+SB and PP+HB baselines on the same worker
+// cluster TD-Pipe uses, but with the stock-vLLM behaviours the paper
+// identifies as bubble sources (§2.3, Fig. 1):
+//
+//   - blocking device-to-device transfers (§3.2);
+//   - a synchronous engine loop: microbatches are scheduled in
+//     lockstep rounds — exactly the row-by-row schedule Figure 1
+//     draws — so one long pass (e.g. a prefill among decode steps
+//     under separate batching) stalls every other microbatch;
+//   - per-iteration scheduling overhead serialized through the single
+//     engine thread.
+type ppRunner struct {
+	*common
+	eng     *sim.Engine
+	cluster *runtime.Cluster
+
+	// batch[slot] holds the slot's decode requests.
+	batch [][]int
+	// partial[slot] holds the slot's mid-chunked-prefill requests
+	// (PP+HB only).
+	partial [][]int
+	// engineFree is when the single-threaded engine loop next becomes
+	// available; iteration scheduling serializes through it.
+	engineFree sim.Time
+	end        sim.Time
+
+	outstanding int
+	roundEnd    sim.Time
+	rounds      int
+}
+
+func newPPRunner(c *common) (*ppRunner, error) {
+	eng := sim.NewEngine()
+	cluster, err := runtime.NewCluster(eng, c.cfg.Node, c.cfg.Spec, c.cfg.World)
+	if err != nil {
+		return nil, err
+	}
+	// Stock vLLM pipeline parallelism sends activations in a blocking
+	// style (§3.2) — the bubble amplifier TD-Pipe's asynchronous
+	// runtime removes.
+	cluster.BlockingP2P = true
+	return &ppRunner{
+		common:  c,
+		eng:     eng,
+		cluster: cluster,
+		batch:   make([][]int, c.cfg.World),
+		partial: make([][]int, c.cfg.World),
+	}, nil
+}
+
+func (r *ppRunner) recorder() *metrics.Recorder { return r.cluster.Rec }
+func (r *ppRunner) recomputes() int             { return r.nRecompute }
+
+func (r *ppRunner) run() (sim.Time, error) {
+	defer r.cluster.Shutdown()
+	r.startRound(0)
+	r.eng.Run()
+	if r.finished != len(r.states) {
+		return 0, fmt.Errorf("baselines: %s stalled with %d/%d finished (waiting=%d)",
+			r.cfg.Method, r.finished, len(r.states), len(r.waiting))
+	}
+	return r.end, nil
+}
+
+// gate serializes an iteration's scheduling through the engine loop and
+// returns when the iteration may start on the pipeline.
+func (r *ppRunner) gate(ready sim.Time, seqs int) sim.Time {
+	start := ready
+	if r.engineFree > start {
+		start = r.engineFree
+	}
+	end := start + sim.Time(r.cfg.schedOverhead(seqs))
+	r.engineFree = end
+	return end
+}
+
+func (r *ppRunner) noteEnd(t sim.Time) {
+	if t > r.end {
+		r.end = t
+	}
+	if t > r.roundEnd {
+		r.roundEnd = t
+	}
+}
+
+// startRound schedules one lockstep round: every slot gets at most one
+// pass; the next round begins only after all of them complete.
+func (r *ppRunner) startRound(now sim.Time) {
+	r.rounds++
+	if r.rounds > 64*len(r.states)*1024+1024 {
+		panic(fmt.Sprintf("baselines: %s runaway after %d rounds", r.cfg.Method, r.rounds))
+	}
+	r.outstanding = 0
+	r.roundEnd = now
+	for slot := 0; slot < r.cfg.World; slot++ {
+		if r.cfg.Method == PPSB {
+			r.submitSB(slot, now)
+		} else {
+			r.submitHB(slot, now)
+		}
+	}
+	if r.outstanding == 0 {
+		// Nothing runnable anywhere. Either we are done, or (PP+HB)
+		// memory is wedged by partial prefills with no decodes.
+		if r.finished == len(r.states) {
+			return
+		}
+		for slot := 0; slot < r.cfg.World; slot++ {
+			if n := len(r.partial[slot]); n > 0 {
+				victim := r.partial[slot][n-1]
+				r.kv.Free(victim)
+				r.evict(victim)
+				r.partial[slot] = r.live(r.partial[slot])
+			}
+		}
+		r.eng.Immediately(func() { r.startRound(r.eng.Now()) })
+	}
+}
+
+// passDone accounts one pass completion and opens the next round at the
+// barrier.
+func (r *ppRunner) passDone() {
+	r.outstanding--
+	if r.outstanding == 0 {
+		end := r.roundEnd
+		r.eng.At(end, func() { r.startRound(end) })
+	}
+}
+
+// --- PP + separate batching -------------------------------------------
+
+func (r *ppRunner) submitSB(slot int, now sim.Time) {
+	// Prefill priority, as in vLLM's default scheduler.
+	if len(r.waiting) > 0 {
+		ids, lens := r.admitPrefill()
+		if len(ids) > 0 {
+			r.outstanding++
+			r.cluster.SubmitPass(runtime.PrefillTask(costmodel.NewPrefillBatch(lens)), r.gate(now, len(ids)), func(res runtime.PassResult) {
+				r.noteEnd(res.End)
+				r.batch[slot] = append(r.batch[slot], r.completePrefill(ids, res.End)...)
+				r.passDone()
+			})
+			return
+		}
+	}
+	r.batch[slot] = r.live(r.batch[slot])
+	if len(r.batch[slot]) > 0 {
+		ids := r.batch[slot]
+		r.outstanding++
+		r.cluster.SubmitPass(runtime.DecodeTask(len(ids), r.kvTokens(ids)), r.gate(now, len(ids)), func(res runtime.PassResult) {
+			r.noteEnd(res.End)
+			r.completeDecode(slot, res.End)
+			r.passDone()
+		})
+	}
+}
+
+func (r *ppRunner) completeDecode(slot int, t sim.Time) {
+	ids := r.batch[slot]
+	keep := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		keep[id] = true
+	}
+	for _, id := range ids {
+		st := r.states[id]
+		if st.evicted || st.done {
+			continue
+		}
+		r.decodeAppend(id, t, keep)
+	}
+	r.batch[slot] = r.live(r.batch[slot])
+}
+
+// --- PP + hybrid batching (chunked prefill) ----------------------------
+
+func (r *ppRunner) submitHB(slot int, now sim.Time) {
+	r.batch[slot] = r.live(r.batch[slot])
+	r.partial[slot] = r.live(r.partial[slot])
+
+	budget := r.cfg.ChunkTokens
+	decodes := len(r.batch[slot])
+	if decodes > budget {
+		decodes = budget
+	}
+	budget -= decodes
+	chunkTokens, chunkCtx := r.admitChunksSlot(slot, &budget)
+
+	if decodes == 0 && chunkTokens == 0 {
+		return
+	}
+
+	dec := r.batch[slot][:decodes]
+	r.outstanding++
+	r.cluster.SubmitPass(runtime.HybridTask(decodes, r.kvTokens(dec), chunkTokens, chunkCtx), r.gate(now, decodes+len(r.partial[slot])), func(res runtime.PassResult) {
+		r.noteEnd(res.End)
+		r.completeHybrid(slot, decodes, res.End)
+		r.passDone()
+	})
+}
+
+// admitChunksSlot fills the slot's budget with prefill chunks.
+func (r *ppRunner) admitChunksSlot(slot int, budget *int) (chunkTokens, chunkCtx int) {
+	for _, id := range r.partial[slot] {
+		if *budget <= 0 {
+			break
+		}
+		st := r.states[id]
+		remain := st.prefillLen - st.prefilled
+		take := remain
+		if take > *budget {
+			take = *budget
+		}
+		chunkTokens += take
+		chunkCtx += st.prefilled
+		st.prefilled += take
+		*budget -= take
+	}
+	for *budget > 0 && len(r.waiting) > 0 {
+		id := r.waiting[0]
+		st := r.states[id]
+		if !r.kv.CanAllocate(st.prefillLen) {
+			break
+		}
+		if err := r.kv.Allocate(id, st.prefillLen); err != nil {
+			break
+		}
+		r.waiting = r.waiting[1:]
+		st.evicted = false
+		take := st.prefillLen
+		if take > *budget {
+			take = *budget
+		}
+		st.prefilled = take
+		*budget -= take
+		chunkTokens += take
+		r.partial[slot] = append(r.partial[slot], id)
+	}
+	return chunkTokens, chunkCtx
+}
+
+// completeHybrid applies one hybrid iteration's effects.
+func (r *ppRunner) completeHybrid(slot, decodes int, t sim.Time) {
+	ids := r.batch[slot]
+	if decodes > len(ids) {
+		decodes = len(ids)
+	}
+	keep := make(map[int]bool)
+	for _, id := range ids {
+		keep[id] = true
+	}
+	for _, id := range r.partial[slot] {
+		keep[id] = true
+	}
+	for _, id := range ids[:decodes] {
+		st := r.states[id]
+		if st.evicted || st.done {
+			continue
+		}
+		r.decodeAppend(id, t, keep)
+	}
+	r.batch[slot] = r.live(r.batch[slot])
+
+	var still []int
+	for _, id := range r.partial[slot] {
+		st := r.states[id]
+		if st.evicted || st.done {
+			continue
+		}
+		if st.prefilled >= st.prefillLen {
+			st.ctx = st.prefillLen
+			st.generated++
+			if st.generated >= st.req.OutputLen {
+				r.finishReq(id, t)
+			} else {
+				r.batch[slot] = append(r.batch[slot], id)
+			}
+		} else {
+			still = append(still, id)
+		}
+	}
+	r.partial[slot] = still
+}

@@ -1,0 +1,217 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// tpRunner executes the TP+SB and TP+HB baselines. Tensor parallelism
+// runs every GPU in lockstep (SPMD), so no event queue is needed: time
+// advances iteration by iteration. GPUs are busy during the compute
+// part of an iteration and stall during all-reduces, which is how the
+// paper's Fig.-6 breakdown attributes time.
+type tpRunner struct {
+	*common
+	cm  *costmodel.Model
+	rec *metrics.Recorder
+	t   sim.Time
+
+	running []int
+	// partial tracks requests mid-chunked-prefill (TP+HB only).
+	partial []int
+}
+
+func newTPRunner(c *common) *tpRunner {
+	cm, err := costmodel.New(c.cfg.Node, c.cfg.Spec)
+	if err != nil {
+		panic(err) // Config.Validate already vetted node and spec
+	}
+	return &tpRunner{common: c, cm: cm, rec: metrics.NewRecorder(c.cfg.World)}
+}
+
+func (r *tpRunner) recorder() *metrics.Recorder { return r.rec }
+func (r *tpRunner) recomputes() int             { return r.nRecompute }
+
+// spend advances time by one iteration: the engine-loop scheduling gap
+// first (all GPUs idle), then compute (busy on every GPU), then
+// communication (idle).
+func (r *tpRunner) spend(compute, comm float64, seqs int) {
+	r.t += sim.Time(r.cfg.schedOverhead(seqs))
+	for g := 0; g < r.cfg.World; g++ {
+		r.rec.Add(g, float64(r.t), float64(r.t)+compute)
+	}
+	r.t += sim.Time(compute + comm)
+}
+
+func (r *tpRunner) run() (sim.Time, error) {
+	maxIters := 64*len(r.states)*1024 + 1024
+	for iter := 0; r.finished < len(r.states); iter++ {
+		if iter > maxIters {
+			return 0, fmt.Errorf("baselines: TP scheduler made no progress after %d iterations", iter)
+		}
+		if r.cfg.Method == TPSB {
+			r.stepSB()
+		} else {
+			r.stepHB()
+		}
+	}
+	return r.t, nil
+}
+
+// stepSB is one vLLM-default iteration: prefill-prioritized separate
+// batching.
+func (r *tpRunner) stepSB() {
+	if len(r.waiting) > 0 {
+		ids, lens := r.admitPrefill()
+		if len(ids) > 0 {
+			comp, comm := r.cm.TPPrefill(r.cfg.World, costmodel.NewPrefillBatch(lens))
+			r.spend(comp, comm, len(ids))
+			r.running = append(r.running, r.completePrefill(ids, r.t)...)
+			return
+		}
+	}
+	r.decodeStep()
+}
+
+func (r *tpRunner) decodeStep() {
+	r.running = r.live(r.running)
+	if len(r.running) == 0 {
+		return
+	}
+	batch := r.running
+	if len(batch) > r.cfg.MaxBatch {
+		batch = batch[:r.cfg.MaxBatch]
+	}
+	comp, comm := r.cm.TPDecode(r.cfg.World, len(batch), r.kvTokens(batch))
+	r.spend(comp, comm, len(batch))
+	keep := make(map[int]bool, len(batch))
+	for _, id := range batch {
+		keep[id] = true
+	}
+	for _, id := range batch {
+		if r.states[id].evicted || r.states[id].done {
+			continue
+		}
+		r.decodeAppend(id, r.t, keep)
+	}
+	r.running = r.live(r.running)
+}
+
+// stepHB is one chunked-prefill hybrid iteration: decodes first, then
+// prefill chunks up to the token budget.
+func (r *tpRunner) stepHB() {
+	r.running = r.live(r.running)
+	r.partial = r.live(r.partial)
+	budget := r.cfg.ChunkTokens
+	decodes := r.running
+	if len(decodes) > budget {
+		decodes = decodes[:budget]
+	}
+	budget -= len(decodes)
+
+	chunkTokens, chunkCtx := r.admitChunks(&budget)
+
+	if len(decodes) == 0 && chunkTokens == 0 {
+		// Nothing runnable: memory is full of partially prefilled
+		// requests with no decodes to free it. Evict the newest
+		// partial to guarantee progress.
+		if len(r.partial) > 0 {
+			victim := r.partial[len(r.partial)-1]
+			r.kv.Free(victim)
+			r.evict(victim)
+			r.partial = r.live(r.partial)
+			return
+		}
+		return
+	}
+
+	comp, comm := r.cm.TPHybrid(r.cfg.World, len(decodes), r.kvTokens(decodes), chunkTokens, chunkCtx)
+	r.spend(comp, comm, len(decodes)+len(r.partial))
+
+	keep := make(map[int]bool, len(decodes)+len(r.partial))
+	for _, id := range decodes {
+		keep[id] = true
+	}
+	for _, id := range r.partial {
+		keep[id] = true
+	}
+	for _, id := range decodes {
+		if r.states[id].evicted || r.states[id].done {
+			continue
+		}
+		r.decodeAppend(id, r.t, keep)
+	}
+	r.advanceChunks()
+	r.running = r.live(r.running)
+}
+
+// admitChunks consumes the remaining budget with prefill chunks: first
+// the oldest partially prefilled request, then fresh admissions. It
+// returns total chunk tokens and the cached context those chunks re-read.
+func (r *tpRunner) admitChunks(budget *int) (chunkTokens, chunkCtx int) {
+	// Continue partial prefills first.
+	for _, id := range r.partial {
+		if *budget <= 0 {
+			break
+		}
+		st := r.states[id]
+		remain := st.prefillLen - st.prefilled
+		take := remain
+		if take > *budget {
+			take = *budget
+		}
+		chunkTokens += take
+		chunkCtx += st.prefilled
+		st.prefilled += take // applied now; completion processed in advanceChunks
+		*budget -= take
+	}
+	// Admit new requests while budget remains.
+	for *budget > 0 && len(r.waiting) > 0 {
+		id := r.waiting[0]
+		st := r.states[id]
+		if !r.kv.CanAllocate(st.prefillLen) {
+			break
+		}
+		if err := r.kv.Allocate(id, st.prefillLen); err != nil {
+			break
+		}
+		r.waiting = r.waiting[1:]
+		st.evicted = false
+		st.prefilled = 0
+		take := st.prefillLen
+		if take > *budget {
+			take = *budget
+		}
+		chunkTokens += take
+		st.prefilled = take
+		*budget -= take
+		r.partial = append(r.partial, id)
+	}
+	return chunkTokens, chunkCtx
+}
+
+// advanceChunks promotes fully prefilled requests into the running set.
+func (r *tpRunner) advanceChunks() {
+	var still []int
+	for _, id := range r.partial {
+		st := r.states[id]
+		if st.evicted || st.done {
+			continue
+		}
+		if st.prefilled >= st.prefillLen {
+			st.ctx = st.prefillLen
+			st.generated++
+			if st.generated >= st.req.OutputLen {
+				r.finishReq(id, r.t)
+			} else {
+				r.running = append(r.running, id)
+			}
+		} else {
+			still = append(still, id)
+		}
+	}
+	r.partial = still
+}

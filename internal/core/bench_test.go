@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// BenchmarkEngineEndToEnd measures full TD-Pipe runs on the paper's
+// largest configuration — the simulator's overall speed, which bounds
+// how large a sweep the experiment harness can afford.
+func BenchmarkEngineEndToEnd(b *testing.B) {
+	reqs := workload.MustGenerate(workload.DefaultConfig(1000, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(hw.A100, model.Llama2_70B, 4)
+		if _, err := Run(cfg, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStealerRebalance measures the per-decode-step balancing cost.
+func BenchmarkStealerRebalance(b *testing.B) {
+	s := NewStealer(4, true)
+	s.Prime([]int{128, 128, 128, 128})
+	batch := make([]int, 128)
+	for i := range batch {
+		batch[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := s.Rebalance(i%4, batch[:120+i%8])
+		_ = out
+	}
+}
+
+// BenchmarkUsageSim measures Algorithm 1's per-prefill bookkeeping.
+func BenchmarkUsageSim(b *testing.B) {
+	s := newUsageSim(32, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.UpdateUsage(300, 400)
+		if i%1000 == 0 {
+			s.Reset()
+		}
+	}
+}
+
+// BenchmarkIntensityDecision measures the per-step switch evaluation.
+func BenchmarkIntensityDecision(b *testing.B) {
+	cm, err := costmodel.New(hw.A100, model.Llama2_70B)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := model.Partition(model.Llama2_70B, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := NewIntensity(cm, plan, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		si := x.Spatial(100+i%50, 500, 200)
+		ti := x.Temporal(nil, 0.02, 4)
+		_ = x.ShouldSwitch(si, ti)
+	}
+}

@@ -1,0 +1,585 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// reqState tracks one request through the engine.
+type reqState struct {
+	req       workload.Request
+	predicted int
+	// ctx is the number of tokens currently cached.
+	ctx int
+	// generated is the number of output tokens produced so far.
+	generated int
+	// prefillLen is how many tokens the next prefill must process
+	// (input plus any tokens generated before an eviction).
+	prefillLen int
+	done       bool
+	evicted    bool
+	recomputes int
+	finishedAt sim.Time
+}
+
+func (s *reqState) remainingPredicted() int {
+	rem := s.predicted - s.generated
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Result is the outcome of a TD-Pipe run.
+type Result struct {
+	Report metrics.Report
+	// Rec holds per-GPU busy intervals for utilization analysis.
+	Rec *metrics.Recorder
+	// KV is the Fig.-12 usage timeline (nil unless Config.RecordKV).
+	KV *metrics.KVTimeline
+	// Finished lists per-request completion times by request ID.
+	Finished []sim.Time
+}
+
+// Engine is the TD-Pipe centralized engine bound to one simulation.
+type Engine struct {
+	cfg     Config
+	eng     *sim.Engine
+	cluster *runtime.Cluster
+	kv      *kvcache.Manager
+	usage   *usageSim
+	inten   *Intensity
+	stealer *Stealer
+
+	capacityTokens int
+
+	states  []*reqState
+	waiting []int
+
+	phase      metrics.Phase
+	everPhased bool
+
+	// Prefill-phase state.
+	inflight int
+	// decodePool holds ids that are resident and waiting for the next
+	// decode phase.
+	decodePool []int
+
+	// Decode-phase state.
+	batches        [][]int
+	activeBatches  int
+	numSlots       int
+	switchToPrefil bool
+	decodeInitial  int
+	decodeFinished int
+
+	step       int
+	kvTimeline *metrics.KVTimeline
+	recomputes int
+	switches   int
+	finished   int
+	doneAt     sim.Time
+	running    bool
+}
+
+// NewEngine validates the configuration, sizes the KV pool and builds
+// the worker cluster.
+func NewEngine(eng *sim.Engine, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	capTokens, err := KVCapacityTokens(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := runtime.NewCluster(eng, cfg.Node, cfg.Spec, cfg.World)
+	if err != nil {
+		return nil, err
+	}
+	kv, err := kvcache.NewManager(capTokens, cfg.BlockSize)
+	if err != nil {
+		cluster.Shutdown()
+		return nil, err
+	}
+	e := &Engine{
+		cfg:            cfg,
+		eng:            eng,
+		cluster:        cluster,
+		kv:             kv,
+		usage:          newUsageSim(cfg.FuturePointStride, cfg.FuturePointMax),
+		inten:          NewIntensity(cluster.Cost, cluster.Plan, cfg.PeakProfileBatch),
+		capacityTokens: capTokens,
+		kvTimeline:     &metrics.KVTimeline{},
+	}
+	return e, nil
+}
+
+// CapacityTokens returns the engine's KV capacity in tokens.
+func (e *Engine) CapacityTokens() int { return e.capacityTokens }
+
+// Run executes the full trace to completion in virtual time and returns
+// the report. It may be called once per engine.
+func (e *Engine) Run(reqs []workload.Request) (*Result, error) {
+	if e.running {
+		return nil, fmt.Errorf("core: engine already used")
+	}
+	e.running = true
+	defer e.cluster.Shutdown()
+
+	e.states = make([]*reqState, len(reqs))
+	e.waiting = e.waiting[:0]
+	for i, r := range reqs {
+		if r.ID != i {
+			return nil, fmt.Errorf("core: request IDs must be dense 0..n-1 (got %d at %d)", r.ID, i)
+		}
+		e.states[i] = &reqState{
+			req:        r,
+			predicted:  e.cfg.Predictor.PredictLen(r),
+			prefillLen: r.InputLen,
+		}
+		e.waiting = append(e.waiting, i)
+	}
+	if len(reqs) == 0 {
+		return e.buildResult(), nil
+	}
+	e.startPrefillPhase()
+	e.eng.Run()
+	if e.finished != len(reqs) {
+		return nil, fmt.Errorf("core: run stalled with %d/%d finished at t=%v (waiting=%d, pool=%d, active=%d)",
+			e.finished, len(reqs), e.eng.Now(), len(e.waiting), len(e.decodePool), e.activeBatches)
+	}
+	return e.buildResult(), nil
+}
+
+// --- phase control ----------------------------------------------------
+
+func (e *Engine) setPhase(p metrics.Phase) {
+	if e.everPhased && p != e.phase {
+		e.switches++
+	}
+	e.phase = p
+	e.everPhased = true
+}
+
+func (e *Engine) startPrefillPhase() {
+	e.setPhase(metrics.PhasePrefill)
+	// Rebuild Algorithm 1's usage map from still-resident requests so
+	// their predicted lifetimes constrain how much we admit.
+	e.usage.Reset()
+	for _, id := range e.decodePool {
+		st := e.states[id]
+		e.usage.UpdateUsage(st.ctx, st.remainingPredicted())
+	}
+	if e.launchPrefills() == 0 && e.inflight == 0 {
+		// Nothing could be admitted (memory still holds residents):
+		// return to decoding the pool; a trace that fits no request at
+		// all is rejected by KVCapacityTokens, so progress is certain.
+		e.afterPrefillDrained()
+	}
+}
+
+// launchPrefills packs and submits prefill batches until Algorithm 1
+// (or the ablation ratio, or memory itself) says stop. It returns the
+// number of batches submitted.
+func (e *Engine) launchPrefills() (launched int) {
+	switchNow := false
+	for len(e.waiting) > 0 && !switchNow {
+		var ids []int
+		var lens []int
+		tokens := 0
+		for len(e.waiting) > 0 && tokens < e.cfg.MaxPrefillTokens {
+			id := e.waiting[0]
+			st := e.states[id]
+			if !e.kv.CanAllocate(st.prefillLen) {
+				break
+			}
+			if err := e.kv.Allocate(id, st.prefillLen); err != nil {
+				break
+			}
+			e.waiting = e.waiting[1:]
+			st.evicted = false
+			ids = append(ids, id)
+			lens = append(lens, st.prefillLen)
+			tokens += st.prefillLen
+		}
+		if len(ids) == 0 {
+			break // memory full: decode must free space first
+		}
+		batch := costmodel.NewPrefillBatch(lens)
+		e.inflight++
+		launched++
+		idsCopy := ids
+		e.cluster.SubmitPass(runtime.PrefillTask(batch), e.eng.Now(), func(res runtime.PassResult) {
+			e.onPrefillDone(idsCopy, res)
+		})
+		// Algorithm 1: account the new requests and check the switch
+		// condition after each launched prefill.
+		for _, id := range ids {
+			st := e.states[id]
+			e.usage.UpdateUsage(st.prefillLen, st.remainingPredicted())
+		}
+		if e.cfg.FixedPrefillSwitchRatio > 0 {
+			switchNow = e.kv.UsageRatio() >= e.cfg.FixedPrefillSwitchRatio
+		} else {
+			switchNow = e.usage.ShouldSwitch(e.capacityTokens)
+		}
+	}
+	return launched
+}
+
+func (e *Engine) onPrefillDone(ids []int, res runtime.PassResult) {
+	e.inflight--
+	e.step++
+	for _, id := range ids {
+		st := e.states[id]
+		if st.evicted {
+			continue
+		}
+		st.ctx = st.prefillLen
+		st.generated++ // prefill emits the first output token
+		if st.generated >= st.req.OutputLen {
+			e.finishReq(id, res.End)
+		} else {
+			e.decodePool = append(e.decodePool, id)
+		}
+	}
+	e.recordKV()
+	if e.inflight == 0 {
+		e.afterPrefillDrained()
+	}
+}
+
+// afterPrefillDrained advances the phase machine once both planes are
+// quiet: no prefill pass in flight and no decode batch active. (During
+// an overlapped switch one plane drains while the other fills, so both
+// completion paths funnel here.)
+func (e *Engine) afterPrefillDrained() {
+	if e.inflight > 0 || e.activeBatches > 0 {
+		return
+	}
+	switch {
+	case len(e.decodePool) > 0:
+		e.startDecodePhase()
+	case len(e.waiting) > 0:
+		// Everything prefilled so far finished during prefill (or was
+		// evicted); memory is free again, keep prefilling.
+		if e.launchPrefills() == 0 && e.inflight == 0 {
+			panic(fmt.Sprintf("core: stalled: %d waiting requests, empty pool, nothing admissible (free=%d tokens)",
+				len(e.waiting), e.kv.FreeBlocks()*e.kv.BlockSize()))
+		}
+	default:
+		e.finish(e.eng.Now())
+	}
+}
+
+// overlapPrefill starts the next prefill phase while decode batches are
+// still draining their in-flight steps — the compact switch of Fig. 7:
+// prefill passes queue on stage 0 right behind the final decode steps,
+// leaving only the rate-mismatch bubble.
+func (e *Engine) overlapPrefill() {
+	e.setPhase(metrics.PhasePrefill)
+	e.usage.Reset()
+	account := func(ids []int) {
+		for _, id := range ids {
+			st := e.states[id]
+			if st.done || st.evicted {
+				continue
+			}
+			e.usage.UpdateUsage(st.ctx, st.remainingPredicted())
+		}
+	}
+	for _, b := range e.batches {
+		account(b)
+	}
+	account(e.stealer.stash)
+	account(e.decodePool)
+	e.launchPrefills()
+}
+
+func (e *Engine) startDecodePhase() {
+	e.setPhase(metrics.PhaseDecode)
+	// Drop evicted ids; sort for determinism.
+	pool := e.decodePool[:0]
+	for _, id := range e.decodePool {
+		if !e.states[id].evicted && !e.states[id].done {
+			pool = append(pool, id)
+		}
+	}
+	sort.Ints(pool)
+	e.decodePool = nil
+	if len(pool) == 0 {
+		e.afterPrefillDrained()
+		return
+	}
+	e.numSlots = e.cfg.World
+	if len(pool) < e.numSlots {
+		e.numSlots = len(pool)
+	}
+	// Even split, as in §3.4: "divide the requests into batches equal
+	// to the number of GPUs, each containing the same number".
+	e.batches = make([][]int, e.numSlots)
+	for i, id := range pool {
+		slot := i % e.numSlots
+		e.batches[slot] = append(e.batches[slot], id)
+	}
+	sizes := make([]int, e.numSlots)
+	for s := range e.batches {
+		sizes[s] = len(e.batches[s])
+	}
+	e.stealer = NewStealer(e.numSlots, !e.cfg.DisableWorkStealing)
+	e.stealer.Prime(sizes)
+	e.decodeInitial = len(pool)
+	e.decodeFinished = 0
+	e.switchToPrefil = false
+	e.activeBatches = e.numSlots
+	for s := 0; s < e.numSlots; s++ {
+		e.submitDecode(s, e.eng.Now())
+	}
+}
+
+func (e *Engine) submitDecode(slot int, readyAt sim.Time) {
+	ids := e.batches[slot]
+	kvTokens := 0
+	for _, id := range ids {
+		kvTokens += e.states[id].ctx
+	}
+	e.cluster.SubmitPass(runtime.DecodeTask(len(ids), kvTokens), readyAt, func(res runtime.PassResult) {
+		e.onDecodeDone(slot, res)
+	})
+}
+
+func (e *Engine) onDecodeDone(slot int, res runtime.PassResult) {
+	e.step++
+	survivors := e.batches[slot][:0]
+	for _, id := range e.batches[slot] {
+		st := e.states[id]
+		if st.evicted || st.done {
+			continue
+		}
+		st.generated++
+		st.ctx++
+		if st.generated >= st.req.OutputLen {
+			// The final token needs no KV slot; the request is done.
+			e.finishReq(id, res.End)
+			e.decodeFinished++
+			continue
+		}
+		if err := e.kv.Append(id, 1); err != nil {
+			e.handleOOM(id, slot)
+			if st.evicted {
+				continue
+			}
+		}
+		survivors = append(survivors, id)
+	}
+	e.batches[slot] = survivors
+	e.recordKV()
+
+	// Approach 2: rebalance through the sliding-window stealer.
+	e.batches[slot] = e.stealer.Rebalance(slot, e.batches[slot])
+
+	// Approach 3 (or the Fig.-16 ablation): decide whether to switch
+	// back to prefill. On a switch, prefill launches immediately and
+	// overlaps the remaining decode drain.
+	if !e.switchToPrefil && len(e.waiting) > 0 && e.shouldSwitchToPrefill(slot) {
+		e.switchToPrefil = true
+		e.overlapPrefill()
+	}
+
+	if e.switchToPrefil || len(e.batches[slot]) == 0 {
+		e.decodePool = append(e.decodePool, e.batches[slot]...)
+		e.batches[slot] = nil
+		e.activeBatches--
+		if e.activeBatches == 0 {
+			e.decodePool = append(e.decodePool, e.stealer.DrainStash()...)
+			e.afterPrefillDrained()
+		}
+		return
+	}
+	e.submitDecode(slot, res.End)
+}
+
+// shouldSwitchToPrefill evaluates the decode->prefill switch rule.
+func (e *Engine) shouldSwitchToPrefill(slot int) bool {
+	if e.cfg.FixedDecodeSwitchRatio > 0 {
+		if float64(e.decodeFinished) < e.cfg.FixedDecodeSwitchRatio*float64(e.decodeInitial) {
+			return false
+		}
+		// Only worth switching if the head of the queue fits.
+		return e.kv.CanAllocate(e.states[e.waiting[0]].prefillLen)
+	}
+	resident, kvTokens := e.residentLoad()
+	if resident == 0 {
+		return true
+	}
+	avgBatch := (resident + e.numSlots - 1) / e.numSlots
+	avgCtx := kvTokens / resident
+	pending := e.packPendingPrefills()
+	feasiblePeak := e.capacityTokens / (e.numSlots * avgCtx)
+	si := e.inten.Spatial(avgBatch, avgCtx, feasiblePeak)
+	ti := e.inten.Temporal(pending, e.cluster.Cost.DecodeBottleneck(e.cluster.Plan, avgBatch, avgBatch*avgCtx), e.numSlots)
+	return e.inten.ShouldSwitch(si, ti)
+}
+
+// residentLoad sums live decode requests and their cached tokens across
+// batches and the stash.
+func (e *Engine) residentLoad() (n, kvTokens int) {
+	count := func(ids []int) {
+		for _, id := range ids {
+			st := e.states[id]
+			if st.done || st.evicted {
+				continue
+			}
+			n++
+			kvTokens += st.ctx
+		}
+	}
+	for _, b := range e.batches {
+		count(b)
+	}
+	count(e.stealer.stash)
+	count(e.decodePool)
+	return
+}
+
+// packPendingPrefills previews the prefill batches launchable with the
+// currently free KV (the "pending prefills" of §3.5). It returns nil if
+// free memory cannot hold a meaningful amount of prefill work — one
+// full batch, or all of the remaining waiting set if smaller.
+func (e *Engine) packPendingPrefills() []costmodel.PrefillBatch {
+	free := e.kv.FreeBlocks() * e.kv.BlockSize()
+	var batches []costmodel.PrefillBatch
+	var lens []int
+	tokens := 0
+	packed := 0
+	waitingTokens := 0
+	for _, id := range e.waiting {
+		waitingTokens += e.states[id].prefillLen
+	}
+	for _, id := range e.waiting {
+		need := e.states[id].prefillLen
+		if packed+need > free {
+			break
+		}
+		packed += need
+		lens = append(lens, need)
+		tokens += need
+		if tokens >= e.cfg.MaxPrefillTokens {
+			batches = append(batches, costmodel.NewPrefillBatch(lens))
+			lens, tokens = nil, 0
+		}
+	}
+	if len(lens) > 0 {
+		batches = append(batches, costmodel.NewPrefillBatch(lens))
+	}
+	min := e.cfg.MaxPrefillTokens
+	if waitingTokens < min {
+		min = waitingTokens
+	}
+	if packed < min {
+		return nil
+	}
+	return batches
+}
+
+// handleOOM evicts recently admitted requests to make room for the
+// append that failed — the recompute strategy of §4.1. Victims lose
+// their cache, keep their generated tokens, and requeue for a fresh
+// prefill over input+generated tokens.
+func (e *Engine) handleOOM(needID, slot int) {
+	keep := map[int]bool{needID: true}
+	for _, id := range e.batches[slot] {
+		keep[id] = true
+	}
+	victims := e.kv.EvictMostRecent(e.kv.BlocksFor(1), keep)
+	for _, id := range victims {
+		st := e.states[id]
+		st.evicted = true
+		st.recomputes++
+		e.recomputes++
+		st.prefillLen = st.req.InputLen + st.generated
+		st.ctx = 0
+		e.stealer.Remove(id)
+		e.waiting = append([]int{id}, e.waiting...)
+	}
+	if err := e.kv.Append(needID, 1); err != nil {
+		// Even eviction could not free a block: the current batch
+		// fills the machine. Evict this request itself.
+		st := e.states[needID]
+		e.kv.Free(needID)
+		st.evicted = true
+		st.recomputes++
+		e.recomputes++
+		st.prefillLen = st.req.InputLen + st.generated
+		st.ctx = 0
+		e.waiting = append([]int{needID}, e.waiting...)
+	}
+}
+
+func (e *Engine) finishReq(id int, t sim.Time) {
+	st := e.states[id]
+	st.done = true
+	st.finishedAt = t
+	e.kv.Free(id)
+	e.finished++
+}
+
+func (e *Engine) finish(t sim.Time) {
+	if t > e.doneAt {
+		e.doneAt = t
+	}
+}
+
+func (e *Engine) recordKV() {
+	if e.cfg.RecordKV {
+		e.kvTimeline.Add(e.step, float64(e.eng.Now()), e.kv.UsageRatio(), e.phase)
+	}
+}
+
+func (e *Engine) buildResult() *Result {
+	rep := metrics.Report{
+		Scheduler: "TD-Pipe",
+		Node:      e.cfg.Node.Name,
+		Model:     e.cfg.Spec.Name,
+		GPUs:      e.cfg.World,
+		Requests:  len(e.states),
+		Elapsed:   float64(e.doneAt),
+	}
+	finished := make([]sim.Time, len(e.states))
+	for i, st := range e.states {
+		rep.InputTokens += st.req.InputLen
+		rep.OutputTokens += st.generated
+		finished[i] = st.finishedAt
+	}
+	rep.PhaseSwitches = e.switches
+	rep.Recomputes = e.recomputes
+	rep.MeanUtilization = e.cluster.Rec.MeanUtilization(0, float64(e.doneAt))
+	rep.BubbleRatio = 1 - rep.MeanUtilization
+	rep.KVPeakUsage = e.kvTimeline.Peak()
+	if !e.cfg.RecordKV {
+		rep.KVPeakUsage = float64(e.kv.PeakBlocks()) / float64(e.kv.CapacityBlocks())
+	}
+	var kvt *metrics.KVTimeline
+	if e.cfg.RecordKV {
+		kvt = e.kvTimeline
+	}
+	return &Result{Report: rep, Rec: e.cluster.Rec, KV: kvt, Finished: finished}
+}
+
+// Run is the package-level convenience: build an engine on a fresh
+// simulation and run the trace.
+func Run(cfg Config, reqs []workload.Request) (*Result, error) {
+	eng := sim.NewEngine()
+	e, err := NewEngine(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(reqs)
+}

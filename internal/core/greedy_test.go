@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFuturePointGrid(t *testing.T) {
+	s := newUsageSim(32, 1024)
+	if len(s.points) != 32 {
+		t.Fatalf("%d future points, want 32 (32..1024 step 32)", len(s.points))
+	}
+	if s.points[0] != 32 || s.points[31] != 1024 {
+		t.Errorf("grid = [%d..%d]", s.points[0], s.points[31])
+	}
+}
+
+// Algorithm 1's UpdateUsage: a request with context in and predicted
+// remaining output out adds in+fp tokens at every futurePoint fp <= out.
+func TestUpdateUsageMatchesAlgorithm1(t *testing.T) {
+	s := newUsageSim(32, 1024)
+	s.UpdateUsage(100, 70) // alive at fp=32 and fp=64 only
+	want := map[int]int{32: 132, 64: 164, 96: 0}
+	for i, fp := range s.points {
+		if w, ok := want[fp]; ok && s.usage[i] != w {
+			t.Errorf("usage[fp=%d] = %d, want %d", fp, s.usage[i], w)
+		}
+	}
+	if got := s.MaxUsage(); got != 164 {
+		t.Errorf("max usage = %d, want 164", got)
+	}
+}
+
+func TestUsageAccumulatesAcrossRequests(t *testing.T) {
+	s := newUsageSim(32, 256)
+	s.UpdateUsage(50, 100)
+	s.UpdateUsage(60, 40)
+	// At fp=32 both alive: (50+32)+(60+32) = 174.
+	if s.usage[0] != 174 {
+		t.Errorf("usage[32] = %d, want 174", s.usage[0])
+	}
+	// At fp=64 only the first: 50+64 = 114.
+	if s.usage[1] != 114 {
+		t.Errorf("usage[64] = %d, want 114", s.usage[1])
+	}
+}
+
+func TestShouldSwitchThreshold(t *testing.T) {
+	s := newUsageSim(32, 64)
+	s.UpdateUsage(100, 64)
+	// Max usage is 164 at fp=64.
+	if s.ShouldSwitch(200) {
+		t.Error("switched below capacity")
+	}
+	if !s.ShouldSwitch(163) {
+		t.Error("did not switch above capacity")
+	}
+}
+
+func TestResetClearsUsage(t *testing.T) {
+	s := newUsageSim(32, 128)
+	s.UpdateUsage(10, 128)
+	s.Reset()
+	if s.MaxUsage() != 0 {
+		t.Errorf("usage after reset = %d", s.MaxUsage())
+	}
+}
+
+func TestZeroRemainingContributesNothing(t *testing.T) {
+	s := newUsageSim(32, 128)
+	s.UpdateUsage(500, 0) // predicted to finish before the first point
+	if s.MaxUsage() != 0 {
+		t.Errorf("finished request contributes %d", s.MaxUsage())
+	}
+	s.UpdateUsage(500, 31) // also before the first point
+	if s.MaxUsage() != 0 {
+		t.Errorf("sub-stride request contributes %d", s.MaxUsage())
+	}
+}
+
+// Property: usage at every point is nonnegative and monotone under
+// updates; max usage never decreases as requests are added.
+func TestUsageMonotoneProperty(t *testing.T) {
+	prop := func(adds []uint16) bool {
+		s := newUsageSim(32, 512)
+		prevMax := 0
+		for _, a := range adds {
+			ctx := int(a%1000) + 1
+			rem := int(a/16) % 600
+			s.UpdateUsage(ctx, rem)
+			m := s.MaxUsage()
+			if m < prevMax {
+				return false
+			}
+			prevMax = m
+			for _, u := range s.usage {
+				if u < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/model"
+)
+
+// Approach 3: spatial-temporal intensity comparison (§3.5, Fig. 10).
+//
+// Spatial intensity measures how efficiently the hardware runs if the
+// decode phase continues: the profiled per-request rate at the current
+// batch size relative to the rate at a saturating batch size ("Peak").
+// Temporal intensity measures how efficiently the next cycle runs if we
+// switch now: 1 minus the fraction of the cycle lost to the switch
+// bubble. The engine switches to prefill when SI < TI.
+
+// Intensity evaluates both intensities from the profiled cost model —
+// the same way the real system derives them from on-device profiling.
+type Intensity struct {
+	cm        *costmodel.Model
+	plan      model.PipelinePlan
+	peakBatch int
+}
+
+// NewIntensity profiles with peakBatch as the "sufficiently large batch
+// size" for Peak.
+func NewIntensity(cm *costmodel.Model, plan model.PipelinePlan, peakBatch int) *Intensity {
+	return &Intensity{cm: cm, plan: plan, peakBatch: peakBatch}
+}
+
+// perRequestRate is the profiled reciprocal of average execution time
+// per request at a batch size (Fig. 10 left), using the bottleneck
+// stage since it paces the pipeline.
+func (x *Intensity) perRequestRate(batch, avgCtx int) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	t := x.cm.DecodeBottleneck(x.plan, batch, batch*avgCtx)
+	if t <= 0 {
+		return 0
+	}
+	return float64(batch) / t
+}
+
+// Spatial returns Achieved/Peak for the current per-slot batch size and
+// average context length, clamped to [0, 1]. feasiblePeak bounds the
+// profiling batch: "peak achievable performance" means achievable
+// within this deployment's KV capacity, so on fat-KV models the
+// reference batch is the largest one memory can actually hold, not an
+// abstract saturating size.
+func (x *Intensity) Spatial(batch, avgCtx, feasiblePeak int) float64 {
+	pb := x.peakBatch
+	if feasiblePeak > 0 && feasiblePeak < pb {
+		pb = feasiblePeak
+	}
+	if pb < 1 {
+		pb = 1
+	}
+	peak := x.perRequestRate(pb, avgCtx)
+	if peak <= 0 {
+		return 0
+	}
+	si := x.perRequestRate(batch, avgCtx) / peak
+	if si > 1 {
+		si = 1
+	}
+	return si
+}
+
+// Temporal returns 1 - bubble/total for the pending prefill batches
+// that could launch now. The bubble is the mismatch between the longest
+// pending prefill and the current decode step; the total is the pending
+// prefill work plus one decode step per pipeline batch plus the bubble
+// (§3.5). With nothing to prefill it returns 0 — switching buys
+// nothing.
+func (x *Intensity) Temporal(pending []costmodel.PrefillBatch, decodeStep float64, slots int) float64 {
+	if len(pending) == 0 {
+		return 0
+	}
+	var longest, total float64
+	for _, b := range pending {
+		t := x.cm.PrefillBottleneck(x.plan, b)
+		total += t
+		if t > longest {
+			longest = t
+		}
+	}
+	bubble := longest - decodeStep
+	if bubble < 0 {
+		bubble = 0
+	}
+	total += float64(slots)*decodeStep + bubble
+	if total <= 0 {
+		return 0
+	}
+	return 1 - bubble/total
+}
+
+// ShouldSwitch applies the §3.5 decision rule.
+func (x *Intensity) ShouldSwitch(si, ti float64) bool { return si < ti }

@@ -1,0 +1,57 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// The cost model sits on every scheduling decision's hot path; these
+// benchmarks track its per-call cost.
+
+func benchModel(b *testing.B) (*Model, model.PipelinePlan) {
+	b.Helper()
+	cm, err := New(hw.A100, model.Llama2_70B)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := model.Partition(model.Llama2_70B, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cm, plan
+}
+
+func BenchmarkPrefillStage(b *testing.B) {
+	cm, plan := benchModel(b)
+	batch := NewPrefillBatch([]int{512, 256, 1024, 300})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cm.PrefillStage(plan, 1, batch)
+	}
+}
+
+func BenchmarkDecodeStage(b *testing.B) {
+	cm, plan := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cm.DecodeStage(plan, 2, 200, 200*500)
+	}
+}
+
+func BenchmarkDecodeBottleneck(b *testing.B) {
+	cm, plan := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cm.DecodeBottleneck(plan, 200, 200*500)
+	}
+}
+
+func BenchmarkTPDecode(b *testing.B) {
+	cm, _ := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = cm.TPDecode(4, 400, 400*500)
+	}
+}

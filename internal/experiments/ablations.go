@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// AblationCombos returns the two configurations used by the paper's
+// ablation study (§4.4): 4xL20 + 32B and 4xA100 + 70B.
+func AblationCombos() []Combo {
+	return []Combo{
+		{hw.L20, model.Qwen2_5_32B},
+		{hw.A100, model.Llama2_70B},
+	}
+}
+
+// AblationRow is one bar of an ablation figure.
+type AblationRow struct {
+	Node  string
+	Model string
+	// Label is the hyperparameter setting ("20%", ..., "TD-Pipe",
+	// "wo", "wi").
+	Label        string
+	TokensPerSec float64
+}
+
+func runTDPipe(env *Env, combo Combo, mutate func(*core.Config)) (float64, error) {
+	cfg := core.DefaultConfig(combo.Node, combo.Spec, 4)
+	cfg.Predictor = env.Classifier
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := core.Run(cfg, env.Requests)
+	if err != nil {
+		return 0, err
+	}
+	return res.Report.OutputThroughput(), nil
+}
+
+// Fig13 regenerates the prefill-to-decode switching ablation: fixed KV
+// occupancy ratios {20..95}% versus the AI-based greedy prefill.
+func Fig13(env *Env) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, combo := range AblationCombos() {
+		for _, ratio := range []float64{0.20, 0.35, 0.50, 0.65, 0.80, 0.95} {
+			r := ratio
+			tp, err := runTDPipe(env, combo, func(c *core.Config) { c.FixedPrefillSwitchRatio = r })
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{combo.Node.Name, combo.Spec.Name, fmt.Sprintf("%.0f%%", 100*ratio), tp})
+		}
+		tp, err := runTDPipe(env, combo, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{combo.Node.Name, combo.Spec.Name, "TD-Pipe", tp})
+	}
+	return rows, nil
+}
+
+// Fig15 regenerates the work-stealing ablation: decode-phase dynamic
+// balancing off (wo) and on (wi).
+func Fig15(env *Env) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, combo := range AblationCombos() {
+		wo, err := runTDPipe(env, combo, func(c *core.Config) { c.DisableWorkStealing = true })
+		if err != nil {
+			return nil, err
+		}
+		wi, err := runTDPipe(env, combo, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			AblationRow{combo.Node.Name, combo.Spec.Name, "wo", wo},
+			AblationRow{combo.Node.Name, combo.Spec.Name, "wi", wi})
+	}
+	return rows, nil
+}
+
+// Fig16 regenerates the decode-to-prefill switching ablation: fixed
+// request-finish ratios {80..5}% versus the spatial-temporal intensity
+// comparison.
+func Fig16(env *Env) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, combo := range AblationCombos() {
+		for _, ratio := range []float64{0.80, 0.65, 0.50, 0.35, 0.20, 0.05} {
+			r := ratio
+			tp, err := runTDPipe(env, combo, func(c *core.Config) { c.FixedDecodeSwitchRatio = r })
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{combo.Node.Name, combo.Spec.Name, fmt.Sprintf("%.0f%%", 100*ratio), tp})
+		}
+		tp, err := runTDPipe(env, combo, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{combo.Node.Name, combo.Spec.Name, "TD-Pipe", tp})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders ablation rows grouped by configuration.
+func FormatAblation(title string, rows []AblationRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Node + "+" + r.Model, r.Label, fmt.Sprintf("%.0f", r.TokensPerSec)})
+	}
+	return renderTable(title, []string{"config", "setting", "tokens/s"}, out)
+}

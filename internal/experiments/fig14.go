@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/predictor"
+	"repro/internal/workload"
+)
+
+// Fig14Result holds the predictor-quality evaluation (§4.4.1, Fig. 14):
+// per-model single-request accuracies and the accumulated error as a
+// function of group size.
+type Fig14Result struct {
+	// ModelNames labels the three per-model predictors. The paper
+	// trains one predictor per LLM on that model's own generations;
+	// our substitute trains on three independently seeded corpora.
+	ModelNames []string
+	// Accuracies are single-request bin accuracies per model.
+	Accuracies []float64
+	// Baselines are the matching majority-class accuracies.
+	Baselines []float64
+	// GroupSizes are the request-count buckets (2..512).
+	GroupSizes []int
+	// AccumErr[m][g] is the accumulated relative error of model m's
+	// predictor at group size g.
+	AccumErr [][]float64
+}
+
+// Fig14GroupSizes matches the paper's x-axis.
+func Fig14GroupSizes() []int { return []int{2, 4, 8, 16, 32, 64, 128, 256, 512} }
+
+// Fig14 trains the three per-model predictors and evaluates accuracy
+// and accumulated error.
+func Fig14(env *Env) (*Fig14Result, error) {
+	res := &Fig14Result{
+		ModelNames: []string{"Llama2-13B-chat", "Qwen2.5-32B-Instruct", "Llama2-70B-chat"},
+		GroupSizes: Fig14GroupSizes(),
+	}
+	for i := range res.ModelNames {
+		// Each model generates its own outputs; a fresh seed stands in
+		// for each model's generation distribution.
+		pool, err := workload.Generate(workload.DefaultConfig(env.Opts.PoolSize, env.Opts.Seed+int64(100+i)))
+		if err != nil {
+			return nil, err
+		}
+		train, _, test := workload.Split(pool, 0.6, 0.2)
+		clf, err := predictor.Train(train, predictor.DefaultTrainConfig())
+		if err != nil {
+			return nil, err
+		}
+		res.Accuracies = append(res.Accuracies, clf.Accuracy(test))
+		res.Baselines = append(res.Baselines, predictor.MajorityBaseline(clf.Bins(), train, test))
+		var errs []float64
+		for _, g := range res.GroupSizes {
+			errs = append(errs, clf.AccumulatedError(test, g))
+		}
+		res.AccumErr = append(res.AccumErr, errs)
+	}
+	return res, nil
+}
+
+// FormatFig14 renders the accuracy summary and error curves.
+func FormatFig14(r *Fig14Result) string {
+	var rows [][]string
+	for i, name := range r.ModelNames {
+		rows = append(rows, []string{name,
+			fmt.Sprintf("%.4f", r.Accuracies[i]),
+			fmt.Sprintf("%.4f", r.Baselines[i])})
+	}
+	out := renderTable("§4.4.1: single-request prediction accuracy",
+		[]string{"model", "accuracy", "majority baseline"}, rows)
+
+	header := []string{"model"}
+	for _, g := range r.GroupSizes {
+		header = append(header, fmt.Sprintf("%d", g))
+	}
+	rows = nil
+	for i, name := range r.ModelNames {
+		row := []string{name}
+		for _, e := range r.AccumErr[i] {
+			row = append(row, fmt.Sprintf("%.3f", e))
+		}
+		rows = append(rows, row)
+	}
+	out += "\n" + renderTable("Figure 14: accumulated error vs request number", header, rows)
+	return out
+}

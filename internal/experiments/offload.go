@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/offload"
+)
+
+// OffloadRow is one row of the §2.2.2 motivation experiment: offloading
+// instances contending for the root complex vs. TD-Pipe's pipeline.
+type OffloadRow struct {
+	System       string
+	GPUs         int
+	TokensPerSec float64
+	// ScalingEff is aggregate throughput relative to GPUs x the
+	// 1-GPU offloading result.
+	ScalingEff float64
+}
+
+// Offload regenerates the §2.2.2 argument on L20 + 32B: the model does
+// not fit one GPU resident, offloading runs it anywhere but stops
+// scaling with GPU count, while TD-Pipe turns the same 4 GPUs into a
+// pipeline.
+func Offload(env *Env) ([]OffloadRow, error) {
+	node, spec := hw.L20, model.Qwen2_5_32B
+	reqs := env.Requests
+
+	var rows []OffloadRow
+	var base float64
+	for _, gpus := range []int{1, 2, 4} {
+		res, err := offload.Run(offload.DefaultConfig(node, spec, gpus), reqs)
+		if err != nil {
+			return nil, err
+		}
+		tput := res.Report.OutputThroughput()
+		if gpus == 1 {
+			base = tput
+		}
+		rows = append(rows, OffloadRow{
+			System:       "Offload",
+			GPUs:         gpus,
+			TokensPerSec: tput,
+			ScalingEff:   tput / (base * float64(gpus)),
+		})
+	}
+	cfg := core.DefaultConfig(node, spec, 4)
+	cfg.Predictor = env.Classifier
+	res, err := core.Run(cfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, OffloadRow{
+		System:       "TD-Pipe",
+		GPUs:         4,
+		TokensPerSec: res.Report.OutputThroughput(),
+		ScalingEff:   res.Report.OutputThroughput() / (base * 4),
+	})
+	return rows, nil
+}
+
+// FormatOffload renders the comparison table.
+func FormatOffload(rows []OffloadRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.System, fmt.Sprintf("%d", r.GPUs),
+			fmt.Sprintf("%.0f", r.TokensPerSec),
+			fmt.Sprintf("%.2f", r.ScalingEff),
+		})
+	}
+	return renderTable("§2.2.2: offloading vs pipeline parallelism (L20 + 32B)",
+		[]string{"system", "GPUs", "tokens/s", "scaling eff"}, out)
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// The headline result must not be an artifact of the default seed:
+// TD-Pipe beats the strongest pipeline baseline and TP+SB at 4 GPUs on
+// the flagship config across independent traces.
+func TestHeadlineRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	node, spec := hw.A100, model.Llama2_70B
+	for _, seed := range []int64{11, 222, 3333} {
+		pool := workload.MustGenerate(workload.DefaultConfig(12000, seed))
+		reqs := workload.Sample(pool, 2500, seed+1)
+
+		cfg := core.DefaultConfig(node, spec, 4)
+		res, err := core.Run(cfg, reqs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		td := res.Report.OutputThroughput()
+
+		for _, m := range []baselines.Method{baselines.TPSB, baselines.PPHB} {
+			bres, err := baselines.Run(baselines.DefaultConfig(node, spec, 4, m), reqs)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, m, err)
+			}
+			if td <= bres.Report.OutputThroughput() {
+				t.Errorf("seed %d: TD-Pipe (%.0f) did not beat %v (%.0f)",
+					seed, td, m, bres.Report.OutputThroughput())
+			}
+		}
+	}
+}
+
+// Determinism across the whole experiment harness: the same Env options
+// produce the same Fig11 numbers.
+func TestHarnessDeterminism(t *testing.T) {
+	opts := Options{PoolSize: 3000, Requests: 400, Seed: 5}
+	envA, err := NewEnv(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB, err := NewEnv(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Fig6(envA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6(envB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fig6 row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// FormatTable1 renders the GPU configurations (paper Table 1).
+func FormatTable1() string {
+	var rows [][]string
+	for _, n := range hw.Nodes() {
+		rows = append(rows, []string{
+			n.GPU.Name,
+			fmt.Sprintf("%.1f TFLOPS", n.GPU.FP16TFLOPS),
+			fmt.Sprintf("%.0f GB/s", n.GPU.HBMGBps),
+			fmt.Sprintf("%.0f GB", n.GPU.MemGB),
+			fmt.Sprintf("%.2f GB/s", n.AllReduceGBps),
+		})
+	}
+	return renderTable("Table 1: GPU configurations",
+		[]string{"device", "FP16 tensor core", "bandwidth", "memory", "all-reduce"}, rows)
+}
+
+// FormatTable2 renders the model specifications (paper Table 2).
+func FormatTable2() string {
+	var rows [][]string
+	for _, m := range model.Models() {
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%.0f GB", m.WeightBytes()/1e9),
+			fmt.Sprintf("%d", m.Layers),
+			fmt.Sprintf("%d", m.Heads),
+			fmt.Sprintf("%d", m.Hidden),
+			fmt.Sprintf("%.2f MB", m.KVBytesPerToken()/1e6),
+		})
+	}
+	return renderTable("Table 2: model specifications",
+		[]string{"name", "parameters", "layers", "heads", "hidden size", "KV/token"}, rows)
+}

@@ -1,0 +1,52 @@
+package kvcache
+
+import "testing"
+
+// BenchmarkAllocateFree measures the admission-path cost the engine
+// pays per prefill batch member.
+func BenchmarkAllocateFree(b *testing.B) {
+	m, err := NewManager(1<<24, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Allocate(i, 300); err != nil {
+			b.Fatal(err)
+		}
+		m.Free(i)
+	}
+}
+
+// BenchmarkAppend measures the per-decode-token growth path.
+func BenchmarkAppend(b *testing.B) {
+	m, err := NewManager(1<<30, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Allocate(1, 16); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Append(1, 1); err != nil {
+			b.StopTimer()
+			m.Free(1)
+			_ = m.Allocate(1, 16)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkEvictMostRecent measures the recompute path under pressure.
+func BenchmarkEvictMostRecent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, _ := NewManager(16*1024, 16)
+		for id := 0; id < 64; id++ {
+			_ = m.Allocate(id, 256)
+		}
+		b.StartTimer()
+		m.EvictMostRecent(512, nil)
+	}
+}

@@ -1,0 +1,219 @@
+// Package kvcache implements a paged KV-cache block manager in the
+// style of vLLM's PagedAttention allocator: per-request token counts are
+// rounded up to fixed-size blocks drawn from a bounded pool. The
+// schedulers use it for admission control, the greedy-prefill simulation
+// for capacity checks, and the baselines for recompute-eviction when
+// memory overflows (paper §4.1 "re-computation strategy").
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultBlockSize is vLLM's default block granularity in tokens.
+const DefaultBlockSize = 16
+
+// Manager tracks block allocations for a set of sequences against a
+// fixed capacity. It is not safe for concurrent use; in TD-Pipe only the
+// centralized engine touches it, which mirrors the paper's design.
+type Manager struct {
+	blockSize int
+	capacity  int // blocks
+
+	used int // blocks
+	seqs map[int]seqAlloc
+
+	// peak tracks the high-water mark in blocks.
+	peak int
+	// allocSeq orders allocations for most-recent-first eviction.
+	allocSeq int
+}
+
+type seqAlloc struct {
+	tokens  int
+	blocks  int
+	arrival int
+}
+
+// NewManager returns a manager with capacity for capacityTokens tokens
+// at the given block size (DefaultBlockSize if blockSize <= 0).
+func NewManager(capacityTokens, blockSize int) (*Manager, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if capacityTokens <= 0 {
+		return nil, fmt.Errorf("kvcache: non-positive capacity %d", capacityTokens)
+	}
+	return &Manager{
+		blockSize: blockSize,
+		capacity:  capacityTokens / blockSize,
+		seqs:      make(map[int]seqAlloc),
+	}, nil
+}
+
+// NewManagerBytes sizes the pool from available bytes and per-token KV
+// bytes.
+func NewManagerBytes(availBytes, bytesPerToken float64, blockSize int) (*Manager, error) {
+	if bytesPerToken <= 0 {
+		return nil, fmt.Errorf("kvcache: non-positive bytes per token %v", bytesPerToken)
+	}
+	return NewManager(int(availBytes/bytesPerToken), blockSize)
+}
+
+// BlockSize returns the block granularity in tokens.
+func (m *Manager) BlockSize() int { return m.blockSize }
+
+// CapacityBlocks returns the total block count.
+func (m *Manager) CapacityBlocks() int { return m.capacity }
+
+// CapacityTokens returns the capacity in tokens.
+func (m *Manager) CapacityTokens() int { return m.capacity * m.blockSize }
+
+// UsedBlocks returns blocks currently allocated.
+func (m *Manager) UsedBlocks() int { return m.used }
+
+// FreeBlocks returns blocks currently available.
+func (m *Manager) FreeBlocks() int { return m.capacity - m.used }
+
+// UsageRatio returns used/capacity in [0,1].
+func (m *Manager) UsageRatio() float64 {
+	return float64(m.used) / float64(m.capacity)
+}
+
+// PeakBlocks returns the allocation high-water mark.
+func (m *Manager) PeakBlocks() int { return m.peak }
+
+// Live returns the number of resident sequences.
+func (m *Manager) Live() int { return len(m.seqs) }
+
+// Tokens returns the cached token count for sequence id (0 if absent).
+func (m *Manager) Tokens(id int) int { return m.seqs[id].tokens }
+
+// Has reports whether sequence id is resident.
+func (m *Manager) Has(id int) bool {
+	_, ok := m.seqs[id]
+	return ok
+}
+
+// BlocksFor returns the number of blocks needed for tokens tokens.
+func (m *Manager) BlocksFor(tokens int) int {
+	return (tokens + m.blockSize - 1) / m.blockSize
+}
+
+// CanAllocate reports whether a new sequence of tokens tokens fits.
+func (m *Manager) CanAllocate(tokens int) bool {
+	return m.BlocksFor(tokens) <= m.FreeBlocks()
+}
+
+// Allocate reserves blocks for a new sequence.
+func (m *Manager) Allocate(id, tokens int) error {
+	if tokens <= 0 {
+		return fmt.Errorf("kvcache: allocate %d tokens", tokens)
+	}
+	if m.Has(id) {
+		return fmt.Errorf("kvcache: sequence %d already allocated", id)
+	}
+	need := m.BlocksFor(tokens)
+	if need > m.FreeBlocks() {
+		return fmt.Errorf("kvcache: out of memory: need %d blocks, free %d", need, m.FreeBlocks())
+	}
+	m.allocSeq++
+	m.seqs[id] = seqAlloc{tokens: tokens, blocks: need, arrival: m.allocSeq}
+	m.used += need
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
+// CanAppend reports whether sequence id can grow by n tokens.
+func (m *Manager) CanAppend(id, n int) bool {
+	s, ok := m.seqs[id]
+	if !ok {
+		return false
+	}
+	return m.BlocksFor(s.tokens+n)-s.blocks <= m.FreeBlocks()
+}
+
+// Append grows sequence id by n tokens, taking new blocks as needed.
+func (m *Manager) Append(id, n int) error {
+	s, ok := m.seqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: append to unknown sequence %d", id)
+	}
+	if n <= 0 {
+		return fmt.Errorf("kvcache: append %d tokens", n)
+	}
+	newBlocks := m.BlocksFor(s.tokens + n)
+	grow := newBlocks - s.blocks
+	if grow > m.FreeBlocks() {
+		return fmt.Errorf("kvcache: out of memory growing sequence %d: need %d blocks, free %d", id, grow, m.FreeBlocks())
+	}
+	s.tokens += n
+	s.blocks = newBlocks
+	m.seqs[id] = s
+	m.used += grow
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
+// Free releases sequence id's blocks. Freeing an absent id is a no-op,
+// matching allocator conventions.
+func (m *Manager) Free(id int) {
+	s, ok := m.seqs[id]
+	if !ok {
+		return
+	}
+	m.used -= s.blocks
+	delete(m.seqs, id)
+}
+
+// EvictMostRecent frees the most recently admitted sequences until at
+// least needBlocks are available, returning the evicted ids (most recent
+// first). This is the paper's recompute strategy: "the KV cache of
+// recently arrived requests will be freed once memory capacity is
+// saturated". It never evicts ids in keep.
+func (m *Manager) EvictMostRecent(needBlocks int, keep map[int]bool) []int {
+	if m.FreeBlocks() >= needBlocks {
+		return nil
+	}
+	type cand struct{ id, arrival int }
+	cands := make([]cand, 0, len(m.seqs))
+	for id, s := range m.seqs {
+		if keep[id] {
+			continue
+		}
+		cands = append(cands, cand{id, s.arrival})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].arrival > cands[j].arrival })
+	var evicted []int
+	for _, c := range cands {
+		if m.FreeBlocks() >= needBlocks {
+			break
+		}
+		m.Free(c.id)
+		evicted = append(evicted, c.id)
+	}
+	return evicted
+}
+
+// Snapshot returns the resident (id, tokens) pairs sorted by id, for
+// deterministic iteration by schedulers.
+func (m *Manager) Snapshot() []SeqInfo {
+	out := make([]SeqInfo, 0, len(m.seqs))
+	for id, s := range m.seqs {
+		out = append(out, SeqInfo{ID: id, Tokens: s.tokens, Blocks: s.blocks})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SeqInfo describes one resident sequence.
+type SeqInfo struct {
+	ID     int
+	Tokens int
+	Blocks int
+}

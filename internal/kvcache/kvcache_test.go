@@ -1,0 +1,255 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustManager(t *testing.T, tokens, bs int) *Manager {
+	t.Helper()
+	m, err := NewManager(tokens, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(0, 16); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	m := mustManager(t, 1000, 0)
+	if m.BlockSize() != DefaultBlockSize {
+		t.Errorf("default block size = %d", m.BlockSize())
+	}
+	if m.CapacityBlocks() != 1000/16 {
+		t.Errorf("capacity blocks = %d", m.CapacityBlocks())
+	}
+}
+
+func TestNewManagerBytes(t *testing.T) {
+	m, err := NewManagerBytes(1<<20, 1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CapacityTokens() != 1024 {
+		t.Errorf("capacity tokens = %d, want 1024", m.CapacityTokens())
+	}
+	if _, err := NewManagerBytes(1<<20, 0, 16); err == nil {
+		t.Error("zero bytes-per-token accepted")
+	}
+}
+
+func TestAllocateFreeRoundTrip(t *testing.T) {
+	m := mustManager(t, 1600, 16) // 100 blocks
+	if err := m.Allocate(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 7 { // ceil(100/16)
+		t.Errorf("used = %d, want 7", m.UsedBlocks())
+	}
+	if m.Tokens(1) != 100 || !m.Has(1) || m.Live() != 1 {
+		t.Error("sequence state wrong after allocate")
+	}
+	m.Free(1)
+	if m.UsedBlocks() != 0 || m.Has(1) || m.Live() != 0 {
+		t.Error("state not clean after free")
+	}
+	m.Free(1) // double free is a no-op
+	if m.UsedBlocks() != 0 {
+		t.Error("double free corrupted accounting")
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	m := mustManager(t, 160, 16) // 10 blocks
+	if err := m.Allocate(1, 0); err == nil {
+		t.Error("zero-token allocation accepted")
+	}
+	if err := m.Allocate(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Allocate(1, 10); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := m.Allocate(2, 100); err == nil {
+		t.Error("over-capacity allocation accepted")
+	}
+}
+
+func TestAppendGrowsByBlocks(t *testing.T) {
+	m := mustManager(t, 160, 16)
+	if err := m.Allocate(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 1 {
+		t.Fatalf("used = %d", m.UsedBlocks())
+	}
+	// Appending one token crosses a block boundary.
+	if !m.CanAppend(1, 1) {
+		t.Fatal("CanAppend(1) = false")
+	}
+	if err := m.Append(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 2 || m.Tokens(1) != 17 {
+		t.Errorf("used = %d tokens = %d", m.UsedBlocks(), m.Tokens(1))
+	}
+	// Appending within the block takes no new blocks.
+	if err := m.Append(1, 15); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 2 {
+		t.Errorf("used = %d after intra-block growth", m.UsedBlocks())
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	m := mustManager(t, 32, 16)
+	if err := m.Append(9, 1); err == nil {
+		t.Error("append to unknown sequence accepted")
+	}
+	if err := m.Allocate(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(1, 0); err == nil {
+		t.Error("zero append accepted")
+	}
+	if err := m.Allocate(2, 16); err != nil {
+		t.Fatal(err)
+	}
+	if m.CanAppend(1, 1) {
+		t.Error("CanAppend true with no free blocks")
+	}
+	if err := m.Append(1, 1); err == nil {
+		t.Error("OOM append accepted")
+	}
+	if m.CanAppend(42, 1) {
+		t.Error("CanAppend true for unknown sequence")
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	m := mustManager(t, 160, 16)
+	_ = m.Allocate(1, 64) // 4 blocks
+	_ = m.Allocate(2, 64) // 4 blocks
+	m.Free(1)
+	if m.PeakBlocks() != 8 {
+		t.Errorf("peak = %d, want 8", m.PeakBlocks())
+	}
+	if m.UsedBlocks() != 4 {
+		t.Errorf("used = %d, want 4", m.UsedBlocks())
+	}
+}
+
+func TestEvictMostRecent(t *testing.T) {
+	m := mustManager(t, 160, 16) // 10 blocks
+	_ = m.Allocate(1, 48)        // 3 blocks, oldest
+	_ = m.Allocate(2, 48)        // 3 blocks
+	_ = m.Allocate(3, 48)        // 3 blocks, newest
+	// Need 6 free blocks -> evict newest first: 3, then 2.
+	evicted := m.EvictMostRecent(6, nil)
+	if len(evicted) != 2 || evicted[0] != 3 || evicted[1] != 2 {
+		t.Fatalf("evicted = %v, want [3 2]", evicted)
+	}
+	if !m.Has(1) || m.Has(2) || m.Has(3) {
+		t.Error("wrong sequences evicted")
+	}
+	if m.FreeBlocks() < 6 {
+		t.Errorf("free = %d after eviction", m.FreeBlocks())
+	}
+}
+
+func TestEvictRespectsKeepSet(t *testing.T) {
+	m := mustManager(t, 96, 16) // 6 blocks
+	_ = m.Allocate(1, 32)
+	_ = m.Allocate(2, 32)
+	_ = m.Allocate(3, 32)
+	evicted := m.EvictMostRecent(2, map[int]bool{3: true})
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted = %v, want [2]", evicted)
+	}
+	if !m.Has(3) {
+		t.Error("kept sequence was evicted")
+	}
+}
+
+func TestEvictNoOpWhenEnoughFree(t *testing.T) {
+	m := mustManager(t, 160, 16)
+	_ = m.Allocate(1, 16)
+	if ev := m.EvictMostRecent(1, nil); ev != nil {
+		t.Errorf("needless eviction: %v", ev)
+	}
+}
+
+func TestSnapshotSortedByID(t *testing.T) {
+	m := mustManager(t, 1600, 16)
+	for _, id := range []int{5, 1, 3} {
+		_ = m.Allocate(id, 20)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 3 || snap[0].ID != 1 || snap[1].ID != 3 || snap[2].ID != 5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if snap[0].Tokens != 20 || snap[0].Blocks != 2 {
+		t.Errorf("snapshot entry = %+v", snap[0])
+	}
+}
+
+// Property: under any sequence of operations the accounting invariants
+// hold: used == sum of per-seq blocks, 0 <= used <= capacity, blocks
+// always match BlocksFor(tokens).
+func TestAccountingInvariantProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, _ := NewManager(16*64, 16)
+		live := map[int]bool{}
+		next := 0
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				next++
+				tokens := rng.Intn(200) + 1
+				if m.CanAllocate(tokens) {
+					if err := m.Allocate(next, tokens); err != nil {
+						return false
+					}
+					live[next] = true
+				} else if err := m.Allocate(next, tokens); err == nil {
+					return false // CanAllocate said no but Allocate worked
+				}
+			case 1:
+				for id := range live {
+					n := rng.Intn(40) + 1
+					if m.CanAppend(id, n) {
+						if err := m.Append(id, n); err != nil {
+							return false
+						}
+					}
+					break
+				}
+			case 2:
+				for id := range live {
+					m.Free(id)
+					delete(live, id)
+					break
+				}
+			}
+			sum := 0
+			for _, s := range m.Snapshot() {
+				if s.Blocks != m.BlocksFor(s.Tokens) {
+					return false
+				}
+				sum += s.Blocks
+			}
+			if sum != m.UsedBlocks() || m.UsedBlocks() < 0 || m.UsedBlocks() > m.CapacityBlocks() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

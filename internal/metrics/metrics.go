@@ -1,0 +1,232 @@
+// Package metrics collects simulation observables: per-GPU busy
+// intervals (for the Fig.-2 utilization timelines and bubble
+// accounting), KV-cache usage timelines (Fig. 12), and the run report
+// all schedulers return.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Interval is one busy span of a device.
+type Interval struct {
+	Start, End float64
+}
+
+// Recorder accumulates busy intervals for a fixed set of GPUs.
+type Recorder struct {
+	busy [][]Interval
+}
+
+// NewRecorder tracks gpus devices.
+func NewRecorder(gpus int) *Recorder {
+	return &Recorder{busy: make([][]Interval, gpus)}
+}
+
+// GPUs returns the tracked device count.
+func (r *Recorder) GPUs() int { return len(r.busy) }
+
+// Add records a busy interval for gpu.
+func (r *Recorder) Add(gpu int, start, end float64) {
+	if end <= start {
+		return
+	}
+	r.busy[gpu] = append(r.busy[gpu], Interval{start, end})
+}
+
+// ObserverFor adapts Add to the sim.Resource observer signature.
+func (r *Recorder) ObserverFor(gpu int) func(start, end sim.Time) {
+	return func(s, e sim.Time) { r.Add(gpu, float64(s), float64(e)) }
+}
+
+// BusyTime returns total busy seconds of gpu within [from, to].
+func (r *Recorder) BusyTime(gpu int, from, to float64) float64 {
+	var t float64
+	for _, iv := range r.busy[gpu] {
+		s, e := iv.Start, iv.End
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			t += e - s
+		}
+	}
+	return t
+}
+
+// MeanUtilization returns the average busy fraction over all GPUs in
+// [from, to].
+func (r *Recorder) MeanUtilization(from, to float64) float64 {
+	if to <= from || len(r.busy) == 0 {
+		return 0
+	}
+	var sum float64
+	for g := range r.busy {
+		sum += r.BusyTime(g, from, to) / (to - from)
+	}
+	return sum / float64(len(r.busy))
+}
+
+// UtilPoint is one sample of a utilization timeline.
+type UtilPoint struct {
+	// Time is the window end in seconds.
+	Time float64
+	// Utilization is the mean busy fraction across GPUs in the window.
+	Utilization float64
+}
+
+// Timeline samples mean utilization in consecutive windows of width
+// window seconds from 0 to until.
+func (r *Recorder) Timeline(window, until float64) []UtilPoint {
+	if window <= 0 || until <= 0 {
+		return nil
+	}
+	var out []UtilPoint
+	for t := window; t < until+window; t += window {
+		lo, hi := t-window, t
+		if hi > until {
+			hi = until
+		}
+		if hi <= lo {
+			break
+		}
+		out = append(out, UtilPoint{Time: hi, Utilization: r.MeanUtilization(lo, hi)})
+	}
+	return out
+}
+
+// BubbleRatio returns 1 - mean utilization over [0, until]: the
+// fraction of GPU-time lost to pipeline bubbles.
+func (r *Recorder) BubbleRatio(until float64) float64 {
+	if until <= 0 {
+		return 0
+	}
+	return 1 - r.MeanUtilization(0, until)
+}
+
+// Phase labels a scheduler phase for KV timelines.
+type Phase int
+
+// Phases of the temporally-disaggregated schedule.
+const (
+	PhasePrefill Phase = iota
+	PhaseDecode
+)
+
+func (p Phase) String() string {
+	if p == PhasePrefill {
+		return "prefill"
+	}
+	return "decode"
+}
+
+// KVPoint is one sample of KV-cache occupancy.
+type KVPoint struct {
+	// Step is the engine iteration number.
+	Step int
+	// Time is the virtual time of the sample.
+	Time float64
+	// Usage is used/capacity in [0,1].
+	Usage float64
+	// Phase is the phase active when sampled.
+	Phase Phase
+}
+
+// KVTimeline accumulates KV usage samples (paper Fig. 12).
+type KVTimeline struct {
+	Points []KVPoint
+}
+
+// Add appends a sample.
+func (k *KVTimeline) Add(step int, t, usage float64, ph Phase) {
+	k.Points = append(k.Points, KVPoint{Step: step, Time: t, Usage: usage, Phase: ph})
+}
+
+// Peak returns the maximum recorded usage.
+func (k *KVTimeline) Peak() float64 {
+	var m float64
+	for _, p := range k.Points {
+		if p.Usage > m {
+			m = p.Usage
+		}
+	}
+	return m
+}
+
+// PhaseSwitches counts prefill<->decode transitions.
+func (k *KVTimeline) PhaseSwitches() int {
+	n := 0
+	for i := 1; i < len(k.Points); i++ {
+		if k.Points[i].Phase != k.Points[i-1].Phase {
+			n++
+		}
+	}
+	return n
+}
+
+// Report is the outcome of one simulated run.
+type Report struct {
+	Scheduler string
+	Node      string
+	Model     string
+	GPUs      int
+
+	Requests     int
+	InputTokens  int
+	OutputTokens int
+	// Elapsed is virtual seconds from first prefill to last completion.
+	Elapsed float64
+
+	// MeanUtilization is the average GPU busy fraction.
+	MeanUtilization float64
+	// BubbleRatio is 1 - MeanUtilization.
+	BubbleRatio float64
+	// PhaseSwitches counts prefill<->decode transitions (TD-Pipe and
+	// PP+SB; 0 where not meaningful).
+	PhaseSwitches int
+	// Recomputes counts requests evicted and re-prefilled after OOM.
+	Recomputes int
+	// KVPeakUsage is the high-water KV occupancy ratio.
+	KVPeakUsage float64
+}
+
+// OutputThroughput returns generated tokens per second, the paper's
+// headline metric.
+func (r Report) OutputThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OutputTokens) / r.Elapsed
+}
+
+// TotalThroughput returns processed (input+output) tokens per second.
+func (r Report) TotalThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.InputTokens+r.OutputTokens) / r.Elapsed
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s %s+%s x%d: %d reqs in %.1fs, %.0f tok/s out (%.0f total), util %.1f%%, %d switches",
+		r.Scheduler, r.Node, r.Model, r.GPUs, r.Requests, r.Elapsed,
+		r.OutputThroughput(), r.TotalThroughput(), 100*r.MeanUtilization, r.PhaseSwitches)
+}
+
+// SortIntervals orders a recorder's intervals; useful for tests that
+// inspect them.
+func (r *Recorder) SortIntervals() {
+	for g := range r.busy {
+		iv := r.busy[g]
+		sort.Slice(iv, func(i, j int) bool { return iv[i].Start < iv[j].Start })
+	}
+}
+
+// Intervals returns the recorded busy intervals of gpu.
+func (r *Recorder) Intervals(gpu int) []Interval { return r.busy[gpu] }

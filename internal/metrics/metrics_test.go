@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBusyTimeClipsToWindow(t *testing.T) {
+	r := NewRecorder(1)
+	r.Add(0, 1, 3)
+	r.Add(0, 5, 9)
+	if got := r.BusyTime(0, 0, 10); got != 6 {
+		t.Errorf("busy = %v, want 6", got)
+	}
+	if got := r.BusyTime(0, 2, 6); got != 2 {
+		t.Errorf("clipped busy = %v, want 2 (1 from each interval)", got)
+	}
+	if got := r.BusyTime(0, 3, 5); got != 0 {
+		t.Errorf("gap busy = %v, want 0", got)
+	}
+}
+
+func TestAddIgnoresEmptyIntervals(t *testing.T) {
+	r := NewRecorder(1)
+	r.Add(0, 5, 5)
+	r.Add(0, 5, 4)
+	if len(r.Intervals(0)) != 0 {
+		t.Errorf("empty intervals recorded: %v", r.Intervals(0))
+	}
+}
+
+func TestMeanUtilization(t *testing.T) {
+	r := NewRecorder(2)
+	r.Add(0, 0, 10) // GPU0 fully busy
+	r.Add(1, 0, 5)  // GPU1 half busy
+	if got := r.MeanUtilization(0, 10); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("mean util = %v, want 0.75", got)
+	}
+	if got := r.MeanUtilization(10, 10); got != 0 {
+		t.Errorf("degenerate window util = %v", got)
+	}
+	if got := NewRecorder(0).MeanUtilization(0, 1); got != 0 {
+		t.Errorf("no-gpu util = %v", got)
+	}
+}
+
+func TestTimelineWindows(t *testing.T) {
+	r := NewRecorder(1)
+	r.Add(0, 0, 1) // busy during first second only
+	pts := r.Timeline(1, 3)
+	if len(pts) != 3 {
+		t.Fatalf("timeline has %d points, want 3", len(pts))
+	}
+	if pts[0].Utilization != 1 || pts[1].Utilization != 0 || pts[2].Utilization != 0 {
+		t.Errorf("timeline = %v", pts)
+	}
+	if r.Timeline(0, 3) != nil || r.Timeline(1, 0) != nil {
+		t.Error("degenerate timeline not nil")
+	}
+	// Partial last window.
+	pts = r.Timeline(2, 3)
+	if len(pts) != 2 || pts[1].Time != 3 {
+		t.Errorf("partial window timeline = %v", pts)
+	}
+}
+
+func TestBubbleRatio(t *testing.T) {
+	r := NewRecorder(2)
+	r.Add(0, 0, 10)
+	r.Add(1, 0, 10)
+	if got := r.BubbleRatio(10); got != 0 {
+		t.Errorf("full pipeline bubble = %v", got)
+	}
+	r2 := NewRecorder(1)
+	r2.Add(0, 0, 2)
+	if got := r2.BubbleRatio(10); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("bubble = %v, want 0.8", got)
+	}
+}
+
+func TestKVTimeline(t *testing.T) {
+	var k KVTimeline
+	k.Add(0, 0, 0.3, PhasePrefill)
+	k.Add(1, 1, 0.9, PhasePrefill)
+	k.Add(2, 2, 0.95, PhaseDecode)
+	k.Add(3, 3, 0.5, PhaseDecode)
+	k.Add(4, 4, 0.7, PhasePrefill)
+	if got := k.Peak(); got != 0.95 {
+		t.Errorf("peak = %v", got)
+	}
+	if got := k.PhaseSwitches(); got != 2 {
+		t.Errorf("switches = %d, want 2", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhasePrefill.String() != "prefill" || PhaseDecode.String() != "decode" {
+		t.Error("phase strings wrong")
+	}
+}
+
+func TestReportThroughputs(t *testing.T) {
+	r := Report{InputTokens: 100, OutputTokens: 300, Elapsed: 10}
+	if got := r.OutputThroughput(); got != 30 {
+		t.Errorf("output throughput = %v", got)
+	}
+	if got := r.TotalThroughput(); got != 40 {
+		t.Errorf("total throughput = %v", got)
+	}
+	zero := Report{}
+	if zero.OutputThroughput() != 0 || zero.TotalThroughput() != 0 {
+		t.Error("zero-elapsed throughput not 0")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Scheduler: "TD-Pipe", Node: "A100", Model: "70B", GPUs: 4,
+		Requests: 10, OutputTokens: 100, Elapsed: 2, MeanUtilization: 0.9}
+	s := r.String()
+	for _, want := range []string{"TD-Pipe", "A100", "70B", "x4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report string %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: BusyTime over any window is between 0 and the window width
+// times interval count, and utilization is within [0, 1] when intervals
+// don't overlap.
+func TestBusyTimeBoundsProperty(t *testing.T) {
+	prop := func(starts []float64) bool {
+		r := NewRecorder(1)
+		t0 := 0.0
+		for _, d := range starts {
+			d = math.Abs(d)
+			if math.IsNaN(d) || math.IsInf(d, 0) || d > 1e6 {
+				continue
+			}
+			r.Add(0, t0, t0+d)
+			t0 += d + 1 // keep disjoint
+		}
+		u := r.MeanUtilization(0, t0+1)
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package model describes the transformer models the paper evaluates
+// (Table 2) and derives the quantities the cost model needs: parameter
+// counts, weight bytes, KV-cache bytes per token, FLOP counts per token,
+// and the layer partitioning used by pipeline and tensor parallelism.
+package model
+
+import "fmt"
+
+// Spec describes a decoder-only transformer.
+type Spec struct {
+	Name string
+	// Layers is the number of transformer blocks.
+	Layers int
+	// Heads is the number of attention (query) heads.
+	Heads int
+	// KVHeads is the number of key/value heads (GQA when < Heads).
+	KVHeads int
+	// Hidden is the model dimension.
+	Hidden int
+	// Intermediate is the MLP inner dimension (SwiGLU: 3 matrices).
+	Intermediate int
+	// Vocab is the vocabulary size (embedding and LM head).
+	Vocab int
+	// BytesPerParam is 2 for FP16/BF16.
+	BytesPerParam int
+}
+
+// Validate reports a configuration error, if any.
+func (s Spec) Validate() error {
+	switch {
+	case s.Layers <= 0 || s.Heads <= 0 || s.KVHeads <= 0 || s.Hidden <= 0:
+		return fmt.Errorf("model: %q has non-positive dimensions", s.Name)
+	case s.Hidden%s.Heads != 0:
+		return fmt.Errorf("model: %q hidden %d not divisible by heads %d", s.Name, s.Hidden, s.Heads)
+	case s.Heads%s.KVHeads != 0:
+		return fmt.Errorf("model: %q heads %d not divisible by kv heads %d", s.Name, s.Heads, s.KVHeads)
+	case s.BytesPerParam <= 0:
+		return fmt.Errorf("model: %q has no precision", s.Name)
+	}
+	return nil
+}
+
+// HeadDim returns the per-head dimension.
+func (s Spec) HeadDim() int { return s.Hidden / s.Heads }
+
+// LayerParams returns the parameter count of one transformer block:
+// attention projections (Q, O full-width; K, V at KV width) plus a
+// 3-matrix SwiGLU MLP. Norm parameters are negligible and ignored.
+func (s Spec) LayerParams() float64 {
+	h := float64(s.Hidden)
+	kvWidth := float64(s.KVHeads * s.HeadDim())
+	attn := 2*h*h + 2*h*kvWidth
+	mlp := 3 * h * float64(s.Intermediate)
+	return attn + mlp
+}
+
+// EmbedParams returns embedding plus (untied) LM head parameters.
+func (s Spec) EmbedParams() float64 {
+	return 2 * float64(s.Vocab) * float64(s.Hidden)
+}
+
+// TotalParams returns the full parameter count.
+func (s Spec) TotalParams() float64 {
+	return float64(s.Layers)*s.LayerParams() + s.EmbedParams()
+}
+
+// WeightBytes returns the memory footprint of all weights.
+func (s Spec) WeightBytes() float64 {
+	return s.TotalParams() * float64(s.BytesPerParam)
+}
+
+// KVBytesPerTokenLayer returns KV-cache bytes for one token in one layer
+// (keys and values at KV width).
+func (s Spec) KVBytesPerTokenLayer() float64 {
+	return 2 * float64(s.KVHeads*s.HeadDim()) * float64(s.BytesPerParam)
+}
+
+// KVBytesPerToken returns KV-cache bytes for one token across all
+// layers. For Llama-2-13B this is ~0.8 MB, matching the magnitude the
+// paper quotes for Llama-30B (1.52 MB/token).
+func (s Spec) KVBytesPerToken() float64 {
+	return float64(s.Layers) * s.KVBytesPerTokenLayer()
+}
+
+// DenseFLOPsPerTokenLayer returns the matmul FLOPs to push one token
+// through one block, excluding attention-score computation: 2 FLOPs per
+// parameter.
+func (s Spec) DenseFLOPsPerTokenLayer() float64 {
+	return 2 * s.LayerParams()
+}
+
+// AttnFLOPsPerTokenLayer returns attention score+value FLOPs for one new
+// token attending over a context of ctx tokens in one layer: QK^T and
+// AV each cost 2*Hidden*ctx (query heads dominate; GQA reduces KV reads,
+// not score FLOPs).
+func (s Spec) AttnFLOPsPerTokenLayer(ctx int) float64 {
+	return 4 * float64(s.Hidden) * float64(ctx)
+}
+
+// PrefillFLOPsLayer returns FLOPs for one layer of a prefill over one
+// sequence of seqLen tokens (dense + causal attention ~ s^2/2 pairs).
+func (s Spec) PrefillFLOPsLayer(seqLen int) float64 {
+	sl := float64(seqLen)
+	return sl*s.DenseFLOPsPerTokenLayer() + 2*float64(s.Hidden)*sl*sl
+}
+
+// Paper Table 2 models. Intermediate sizes and vocabularies are from the
+// public model cards; the Table-2 columns (params, layers, heads, hidden
+// size, precision) are asserted in tests.
+var (
+	// Llama2_13B is Llama2-13B-chat (26 GB FP16, MHA).
+	Llama2_13B = Spec{
+		Name: "Llama2-13B-chat", Layers: 40, Heads: 40, KVHeads: 40,
+		Hidden: 5120, Intermediate: 13824, Vocab: 32000, BytesPerParam: 2,
+	}
+	// Qwen2_5_32B is Qwen2.5-32B-Instruct (64 GB BF16, GQA 8 KV heads).
+	Qwen2_5_32B = Spec{
+		Name: "Qwen2.5-32B-Instruct", Layers: 64, Heads: 40, KVHeads: 8,
+		Hidden: 5120, Intermediate: 27648, Vocab: 152064, BytesPerParam: 2,
+	}
+	// Llama2_70B is Llama2-70B-chat (140 GB FP16, GQA 8 KV heads).
+	Llama2_70B = Spec{
+		Name: "Llama2-70B-chat", Layers: 80, Heads: 64, KVHeads: 8,
+		Hidden: 8192, Intermediate: 28672, Vocab: 32000, BytesPerParam: 2,
+	}
+	// Llama30B is Llama-30B, used by the paper's Figure-6 tensor-
+	// parallel scaling case study (§2.2.3). 52 heads divide evenly
+	// over 1/2/4 GPUs.
+	Llama30B = Spec{
+		Name: "Llama-30B", Layers: 60, Heads: 52, KVHeads: 52,
+		Hidden: 6656, Intermediate: 17920, Vocab: 32000, BytesPerParam: 2,
+	}
+	// Tiny is a small model for fast unit tests.
+	Tiny = Spec{
+		Name: "tiny", Layers: 4, Heads: 4, KVHeads: 4,
+		Hidden: 256, Intermediate: 1024, Vocab: 1000, BytesPerParam: 2,
+	}
+)
+
+// Models lists the evaluation models from the paper in Table-2 order.
+func Models() []Spec { return []Spec{Llama2_13B, Qwen2_5_32B, Llama2_70B} }

@@ -1,0 +1,244 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2Shapes(t *testing.T) {
+	// Paper Table 2 columns: layers, heads, hidden size.
+	cases := []struct {
+		s             Spec
+		layers, heads int
+		hidden        int
+	}{
+		{Llama2_13B, 40, 40, 5120},
+		{Qwen2_5_32B, 64, 40, 5120},
+		{Llama2_70B, 80, 64, 8192},
+	}
+	for _, c := range cases {
+		if c.s.Layers != c.layers || c.s.Heads != c.heads || c.s.Hidden != c.hidden {
+			t.Errorf("%s shape drifted from Table 2: %+v", c.s.Name, c.s)
+		}
+		if err := c.s.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.s.Name, err)
+		}
+	}
+}
+
+func TestTable2WeightSizes(t *testing.T) {
+	// Paper Table 2 parameter-memory column: 26 GB, 64 GB, 140 GB.
+	cases := []struct {
+		s      Spec
+		wantGB float64
+		tolGB  float64
+	}{
+		{Llama2_13B, 26, 1.5},
+		{Qwen2_5_32B, 64, 3.0},
+		{Llama2_70B, 140, 5.0},
+	}
+	for _, c := range cases {
+		gotGB := c.s.WeightBytes() / 1e9
+		if math.Abs(gotGB-c.wantGB) > c.tolGB {
+			t.Errorf("%s weights = %.1f GB, want %.0f GB (Table 2)", c.s.Name, gotGB, c.wantGB)
+		}
+	}
+}
+
+func TestGQAShrinksKVCache(t *testing.T) {
+	// Paper: "the 32B and 70B models use GQA, which results in a
+	// smaller KV cache capacity for the same token count."
+	perTok13 := Llama2_13B.KVBytesPerToken()
+	perTok32 := Qwen2_5_32B.KVBytesPerToken()
+	perTok70 := Llama2_70B.KVBytesPerToken()
+	if perTok32 >= perTok13 {
+		t.Errorf("32B GQA KV/token (%.0f) not smaller than 13B MHA (%.0f)", perTok32, perTok13)
+	}
+	if perTok70 >= perTok13 {
+		t.Errorf("70B GQA KV/token (%.0f) not smaller than 13B MHA (%.0f)", perTok70, perTok13)
+	}
+	// Llama2-13B MHA: 2*40*128*2 bytes * 40 layers = 819200 B/token.
+	if perTok13 != 819200 {
+		t.Errorf("13B KV/token = %v, want 819200", perTok13)
+	}
+}
+
+func TestKVMagnitudeMatchesPaperExample(t *testing.T) {
+	// Paper §2.2.1: Llama-30B takes 1.52 MB/token, and 400 requests of
+	// average length 300 need ~178 GB. Our 13B (same family, MHA)
+	// should be about half that per token.
+	perTok := Llama2_13B.KVBytesPerToken() / 1e6
+	if perTok < 0.5 || perTok > 1.2 {
+		t.Errorf("13B KV = %.2f MB/token, expected 0.5-1.2 MB", perTok)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := Llama2_13B
+	bad.Heads = 0
+	if bad.Validate() == nil {
+		t.Error("zero heads validated")
+	}
+	bad = Llama2_13B
+	bad.Hidden = 5121
+	if bad.Validate() == nil {
+		t.Error("indivisible hidden validated")
+	}
+	bad = Llama2_13B
+	bad.KVHeads = 3
+	if bad.Validate() == nil {
+		t.Error("indivisible kv heads validated")
+	}
+	bad = Llama2_13B
+	bad.BytesPerParam = 0
+	if bad.Validate() == nil {
+		t.Error("zero precision validated")
+	}
+}
+
+func TestFLOPFormulas(t *testing.T) {
+	s := Tiny
+	if got, want := s.DenseFLOPsPerTokenLayer(), 2*s.LayerParams(); got != want {
+		t.Errorf("dense FLOPs = %v, want %v", got, want)
+	}
+	if got, want := s.AttnFLOPsPerTokenLayer(10), 4.0*256*10; got != want {
+		t.Errorf("attn FLOPs = %v, want %v", got, want)
+	}
+	// Prefill FLOPs grow superlinearly in sequence length.
+	f1 := s.PrefillFLOPsLayer(100)
+	f2 := s.PrefillFLOPsLayer(200)
+	if f2 <= 2*f1 {
+		t.Errorf("prefill FLOPs not superlinear: f(100)=%v f(200)=%v", f1, f2)
+	}
+}
+
+func TestPartitionEven(t *testing.T) {
+	p, err := Partition(Llama2_70B, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, st := range p.Stages {
+		if st.Layers != 20 {
+			t.Errorf("stage %d layers = %d, want 20", i, st.Layers)
+		}
+		total += st.Layers
+	}
+	if total != 80 {
+		t.Errorf("total layers = %d", total)
+	}
+	if !p.Stages[0].HasEmbed || p.Stages[0].HasHead {
+		t.Error("stage 0 roles wrong")
+	}
+	if !p.Stages[3].HasHead || p.Stages[3].HasEmbed {
+		t.Error("last stage roles wrong")
+	}
+}
+
+func TestPartitionRemainder(t *testing.T) {
+	m := Tiny
+	m.Layers = 10
+	p, err := Partition(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 3, 2, 2}
+	for i, st := range p.Stages {
+		if st.Layers != want[i] {
+			t.Errorf("stage %d layers = %d, want %d", i, st.Layers, want[i])
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(Tiny, 0); err == nil {
+		t.Error("0-stage partition accepted")
+	}
+	if _, err := Partition(Tiny, 100); err == nil {
+		t.Error("more stages than layers accepted")
+	}
+}
+
+func TestPartitionConservesWeights(t *testing.T) {
+	for _, m := range Models() {
+		for _, g := range []int{1, 2, 4} {
+			p, err := Partition(m, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for i := range p.Stages {
+				sum += p.StageWeightBytes(i)
+			}
+			if math.Abs(sum-m.WeightBytes()) > 1 {
+				t.Errorf("%s/%d stages: stage weights sum %.0f != total %.0f", m.Name, g, sum, m.WeightBytes())
+			}
+		}
+	}
+}
+
+func TestPartitionConservesKV(t *testing.T) {
+	p, _ := Partition(Llama2_70B, 4)
+	var sum float64
+	for i := range p.Stages {
+		sum += p.StageKVBytesPerToken(i)
+	}
+	if math.Abs(sum-Llama2_70B.KVBytesPerToken()) > 1e-9 {
+		t.Errorf("stage KV sum %v != total %v", sum, Llama2_70B.KVBytesPerToken())
+	}
+}
+
+func TestTensorParallelShards(t *testing.T) {
+	sh, err := TensorParallel(Llama2_13B, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sh.RankWeightBytes(), Llama2_13B.WeightBytes()/4; got != want {
+		t.Errorf("rank weights = %v, want %v", got, want)
+	}
+	if got, want := sh.RankKVBytesPerToken(), Llama2_13B.KVBytesPerToken()/4; got != want {
+		t.Errorf("rank KV = %v, want %v", got, want)
+	}
+	if _, err := TensorParallel(Llama2_13B, 0); err == nil {
+		t.Error("0-world TP accepted")
+	}
+	if _, err := TensorParallel(Llama2_70B, 3); err == nil {
+		t.Error("indivisible TP accepted")
+	}
+}
+
+func TestActivationBytes(t *testing.T) {
+	if got := Tiny.ActivationBytes(10); got != 10*256*2 {
+		t.Errorf("activation bytes = %v", got)
+	}
+}
+
+// Property: partitioning over any valid stage count conserves layers and
+// assigns every stage at least one layer.
+func TestPartitionProperty(t *testing.T) {
+	prop := func(layers, stages uint8) bool {
+		l := int(layers%64) + 1
+		g := int(stages%8) + 1
+		m := Tiny
+		m.Layers = l
+		p, err := Partition(m, g)
+		if g > l {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, st := range p.Stages {
+			if st.Layers < 1 {
+				return false
+			}
+			sum += st.Layers
+		}
+		return sum == l
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package offload
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func testTrace(n int) []workload.Request {
+	cfg := workload.DefaultConfig(n, 5)
+	cfg.MaxInputLen = 511
+	cfg.MaxOutputLen = 256
+	return workload.MustGenerate(cfg)
+}
+
+func TestValidate(t *testing.T) {
+	bad := DefaultConfig(hw.L20, model.Qwen2_5_32B, 0)
+	if _, err := Run(bad, testTrace(10)); err == nil {
+		t.Error("0 GPUs accepted")
+	}
+	bad = DefaultConfig(hw.L20, model.Qwen2_5_32B, 2)
+	bad.HostLinkGBps = 0
+	if _, err := Run(bad, testTrace(10)); err == nil {
+		t.Error("no host link accepted")
+	}
+}
+
+// Offloading's selling point: a model larger than VRAM runs on a single
+// GPU (32B on one 48 GB L20), which OOMs under every resident scheduler.
+func TestOffloadRunsOversizedModel(t *testing.T) {
+	res, err := Run(DefaultConfig(hw.L20, model.Qwen2_5_32B, 1), testTrace(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResidentFraction >= 1 {
+		t.Errorf("resident fraction = %v, expected partial residency", res.ResidentFraction)
+	}
+	if res.Report.OutputThroughput() <= 0 {
+		t.Errorf("throughput = %v", res.Report.OutputThroughput())
+	}
+	if res.StreamedBytesPerStep <= 0 {
+		t.Error("no host streaming recorded for an oversized model")
+	}
+}
+
+// Paper §2.2.2: root-complex contention destroys multi-GPU scaling —
+// aggregate throughput grows far slower than GPU count.
+func TestContentionKillsScaling(t *testing.T) {
+	// Large enough that every instance runs full generations.
+	reqs := testTrace(2048)
+	r1, err := Run(DefaultConfig(hw.L20, model.Qwen2_5_32B, 1), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(DefaultConfig(hw.L20, model.Qwen2_5_32B, 4), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaling := r4.Report.OutputThroughput() / r1.Report.OutputThroughput()
+	if scaling > 2.0 {
+		t.Errorf("4-GPU offload scaling = %.2fx, contention should cap it well below 4x", scaling)
+	}
+	if scaling < 0.5 {
+		t.Errorf("4-GPU offload scaling = %.2fx, implausibly low", scaling)
+	}
+}
+
+// When the model fits comfortably (13B on L20), weights are fully
+// resident and only KV streams.
+func TestResidentWeightsWhenModelFits(t *testing.T) {
+	res, err := Run(DefaultConfig(hw.L20, model.Llama2_13B, 1), testTrace(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResidentFraction != 1 {
+		t.Errorf("resident fraction = %v, want 1 for a fitting model", res.ResidentFraction)
+	}
+}
+
+// Offloading's GPU utilization must be poor: the compute units starve
+// behind the host link.
+func TestOffloadUtilizationPoor(t *testing.T) {
+	res, err := Run(DefaultConfig(hw.L20, model.Qwen2_5_32B, 4), testTrace(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.MeanUtilization > 0.6 {
+		t.Errorf("offload utilization = %v, expected host-link starvation", res.Report.MeanUtilization)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	reqs := testTrace(150)
+	a, err := Run(DefaultConfig(hw.L20, model.Qwen2_5_32B, 2), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultConfig(hw.L20, model.Qwen2_5_32B, 2), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.Elapsed != b.Report.Elapsed {
+		t.Error("offload run not deterministic")
+	}
+}

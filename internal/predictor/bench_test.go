@@ -1,0 +1,36 @@
+package predictor
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkTrain measures classifier fitting over a paper-scale
+// historical split; the paper calls its predictor overhead negligible
+// (< 0.16% of processing time), so training must stay cheap.
+func BenchmarkTrain(b *testing.B) {
+	reqs := workload.MustGenerate(workload.DefaultConfig(5000, 1))
+	train, _, _ := workload.Split(reqs, 0.6, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(train, DefaultTrainConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictLen measures the per-request inference cost the
+// engine pays at admission.
+func BenchmarkPredictLen(b *testing.B) {
+	reqs := workload.MustGenerate(workload.DefaultConfig(4000, 1))
+	train, _, test := workload.Split(reqs, 0.6, 0.2)
+	c, err := Train(train, DefaultTrainConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.PredictLen(test[i%len(test)])
+	}
+}

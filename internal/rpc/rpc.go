@@ -1,0 +1,166 @@
+// Package rpc carries the hierarchy-controller's control messages over
+// net/rpc, matching the paper's Figure 7 where the centralized engine
+// "manages and controls workers via remote procedure call (RPC)". The
+// in-process channel transport (runtime.NewWorker) is what the
+// simulation uses by default; this package provides the wire-level
+// equivalent so the control plane can drive workers across process
+// boundaries — demonstrated here over in-memory full-duplex pipes,
+// deployable over TCP unchanged.
+package rpc
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+
+	"repro/internal/runtime"
+)
+
+// WorkerService exposes a worker's message handlers as RPC methods.
+// Every method forwards to the worker's mailbox, preserving the
+// one-message-at-a-time semantics of the execution plane.
+type WorkerService struct {
+	w *runtime.Worker
+}
+
+// NewWorkerService wraps a worker for serving.
+func NewWorkerService(w *runtime.Worker) *WorkerService {
+	return &WorkerService{w: w}
+}
+
+func (s *WorkerService) call(msg runtime.Msg, reply *runtime.Msg) error {
+	rep := s.w.Call(msg)
+	if er, bad := rep.(runtime.ErrorReply); bad {
+		return er.Err
+	}
+	*reply = rep
+	return nil
+}
+
+// Init configures the worker's model slice and comm context.
+func (s *WorkerService) Init(args runtime.Init, reply *runtime.InitAck) error {
+	var rep runtime.Msg
+	if err := s.call(args, &rep); err != nil {
+		return err
+	}
+	ack, ok := rep.(runtime.InitAck)
+	if !ok {
+		return fmt.Errorf("rpc: unexpected reply %T", rep)
+	}
+	*reply = ack
+	return nil
+}
+
+// ExecPrefill runs a prefill batch through the worker's layers.
+func (s *WorkerService) ExecPrefill(args runtime.ExecPrefill, reply *runtime.ExecResult) error {
+	return s.exec(args, reply)
+}
+
+// ExecDecode runs one decode step.
+func (s *WorkerService) ExecDecode(args runtime.ExecDecode, reply *runtime.ExecResult) error {
+	return s.exec(args, reply)
+}
+
+// ExecChunked runs a chunked-prefill piece.
+func (s *WorkerService) ExecChunked(args runtime.ExecChunked, reply *runtime.ExecResult) error {
+	return s.exec(args, reply)
+}
+
+// ExecHybrid runs a hybrid iteration.
+func (s *WorkerService) ExecHybrid(args runtime.ExecHybrid, reply *runtime.ExecResult) error {
+	return s.exec(args, reply)
+}
+
+func (s *WorkerService) exec(msg runtime.Msg, reply *runtime.ExecResult) error {
+	var rep runtime.Msg
+	if err := s.call(msg, &rep); err != nil {
+		return err
+	}
+	er, ok := rep.(runtime.ExecResult)
+	if !ok {
+		return fmt.Errorf("rpc: unexpected reply %T", rep)
+	}
+	*reply = er
+	return nil
+}
+
+// Shutdown stops the worker goroutine.
+func (s *WorkerService) Shutdown(args runtime.Shutdown, reply *runtime.Ack) error {
+	var rep runtime.Msg
+	if err := s.call(args, &rep); err != nil {
+		return err
+	}
+	*reply = runtime.Ack{}
+	return nil
+}
+
+// Serve registers the service and serves one connection (blocking).
+func Serve(w *runtime.Worker, conn io.ReadWriteCloser) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", NewWorkerService(w)); err != nil {
+		return err
+	}
+	srv.ServeConn(conn)
+	return nil
+}
+
+// Client is a runtime.Caller backed by an RPC connection, so a Cluster
+// can use remote workers transparently.
+type Client struct {
+	c *rpc.Client
+}
+
+var _ runtime.Caller = (*Client)(nil)
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{c: rpc.NewClient(conn)}
+}
+
+// Call implements runtime.Caller by dispatching on message type.
+func (c *Client) Call(msg runtime.Msg) runtime.Msg {
+	switch m := msg.(type) {
+	case runtime.Init:
+		var ack runtime.InitAck
+		if err := c.c.Call("Worker.Init", m, &ack); err != nil {
+			return runtime.ErrorReply{Err: err}
+		}
+		return ack
+	case runtime.ExecPrefill:
+		return c.exec("Worker.ExecPrefill", m)
+	case runtime.ExecDecode:
+		return c.exec("Worker.ExecDecode", m)
+	case runtime.ExecChunked:
+		return c.exec("Worker.ExecChunked", m)
+	case runtime.ExecHybrid:
+		return c.exec("Worker.ExecHybrid", m)
+	case runtime.Shutdown:
+		var ack runtime.Ack
+		if err := c.c.Call("Worker.Shutdown", m, &ack); err != nil {
+			return runtime.ErrorReply{Err: err}
+		}
+		_ = c.c.Close()
+		return ack
+	default:
+		return runtime.ErrorReply{Err: fmt.Errorf("rpc: unroutable message %T", msg)}
+	}
+}
+
+func (c *Client) exec(method string, args interface{}) runtime.Msg {
+	var er runtime.ExecResult
+	if err := c.c.Call(method, args, &er); err != nil {
+		return runtime.ErrorReply{Err: err}
+	}
+	return er
+}
+
+// PipeWorker starts a worker goroutine served over an in-memory
+// connection and returns the RPC client for it — the cross-process
+// topology of Figure 7, collapsed into one process for the simulation.
+func PipeWorker() *Client {
+	srvConn, cliConn := net.Pipe()
+	w := runtime.NewWorker()
+	go func() { _ = Serve(w, srvConn) }()
+	return NewClient(cliConn)
+}

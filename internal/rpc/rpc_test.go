@@ -1,0 +1,133 @@
+package rpc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+func initArgs(t testing.TB, world, rank int) runtime.Init {
+	t.Helper()
+	plan, err := model.Partition(model.Tiny, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := costmodel.New(hw.L20, model.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runtime.Init{Plan: plan, Rank: rank, World: world, Cost: cm}
+}
+
+func TestRPCInitAndExec(t *testing.T) {
+	c := PipeWorker()
+	defer c.Call(runtime.Shutdown{})
+
+	rep := c.Call(initArgs(t, 2, 0))
+	ack, ok := rep.(runtime.InitAck)
+	if !ok {
+		t.Fatalf("init reply = %#v", rep)
+	}
+	if ack.WeightBytes <= 0 {
+		t.Errorf("weights = %v", ack.WeightBytes)
+	}
+
+	rep = c.Call(runtime.ExecDecode{BatchSize: 8, KVTokens: 400})
+	er, ok := rep.(runtime.ExecResult)
+	if !ok {
+		t.Fatalf("exec reply = %#v", rep)
+	}
+	if er.Dur <= 0 || er.SendTokens != 8 {
+		t.Errorf("exec result = %+v", er)
+	}
+}
+
+// The RPC transport must be observationally identical to the in-process
+// mailbox: same durations for the same tasks.
+func TestRPCEquivalentToMailbox(t *testing.T) {
+	remote := PipeWorker()
+	defer remote.Call(runtime.Shutdown{})
+	local := runtime.NewWorker()
+	defer local.Call(runtime.Shutdown{})
+
+	for rank := 0; rank < 2; rank++ {
+		if rep := remote.Call(initArgs(t, 2, rank)); rep == nil {
+			t.Fatal("nil init reply")
+		}
+		local.Call(initArgs(t, 2, rank))
+		tasks := []runtime.Msg{
+			runtime.ExecPrefill{Batch: costmodel.NewPrefillBatch([]int{64, 128})},
+			runtime.ExecDecode{BatchSize: 16, KVTokens: 1600},
+			runtime.ExecChunked{ChunkTokens: 32, CtxTokens: 64},
+			runtime.ExecHybrid{DecodeBatch: 8, KVTokens: 800, ChunkTokens: 16, ChunkCtx: 32},
+		}
+		for _, task := range tasks {
+			r1 := remote.Call(task)
+			r2 := local.Call(task)
+			e1, ok1 := r1.(runtime.ExecResult)
+			e2, ok2 := r2.(runtime.ExecResult)
+			if !ok1 || !ok2 {
+				t.Fatalf("replies %#v vs %#v", r1, r2)
+			}
+			if math.Abs(e1.Dur-e2.Dur) > 1e-15 || e1.SendTokens != e2.SendTokens {
+				t.Errorf("%T: rpc %+v != mailbox %+v", task, e1, e2)
+			}
+		}
+	}
+}
+
+func TestRPCErrorsPropagate(t *testing.T) {
+	c := PipeWorker()
+	defer c.Call(runtime.Shutdown{})
+	// Exec before init must come back as an ErrorReply, not a panic.
+	rep := c.Call(runtime.ExecDecode{BatchSize: 1, KVTokens: 1})
+	if _, bad := rep.(runtime.ErrorReply); !bad {
+		t.Errorf("error did not propagate: %#v", rep)
+	}
+	// Bad init too.
+	rep = c.Call(initArgs(t, 2, 5))
+	if _, bad := rep.(runtime.ErrorReply); !bad {
+		t.Errorf("bad init accepted: %#v", rep)
+	}
+}
+
+// A cluster whose workers sit behind RPC produces the exact same
+// schedule as the default in-process cluster.
+func TestClusterOverRPC(t *testing.T) {
+	run := func(useRPC bool) sim.Time {
+		eng := sim.NewEngine()
+		c, err := runtime.NewCluster(eng, hw.L20, model.Tiny, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		if useRPC {
+			for i := range c.Workers {
+				cl := PipeWorker()
+				if rep := cl.Call(initArgs(t, 4, i)); rep == nil {
+					t.Fatal("nil init reply")
+				}
+				c.Workers[i] = cl
+			}
+		}
+		var end sim.Time
+		c.SubmitPass(runtime.PrefillTask(costmodel.NewPrefillBatch([]int{256})), 0, func(r runtime.PassResult) {
+			c.SubmitPass(runtime.DecodeTask(4, 256), r.End, func(r2 runtime.PassResult) { end = r2.End })
+		})
+		eng.Run()
+		return end
+	}
+	direct := run(false)
+	viaRPC := run(true)
+	if direct != viaRPC {
+		t.Errorf("schedules differ: direct %v, rpc %v", direct, viaRPC)
+	}
+	if direct == 0 {
+		t.Error("no work executed")
+	}
+}

@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Cluster binds a pipeline of workers to simulated GPU and link
+// resources. Schedulers submit per-stage tasks; the cluster routes them
+// through worker actors for timing and chains the stages with
+// asynchronous point-to-point transfers.
+type Cluster struct {
+	Eng  *sim.Engine
+	Node hw.Node
+	Cost *costmodel.Model
+	Plan model.PipelinePlan
+
+	// Workers are the execution-plane endpoints. They are Callers so
+	// the control plane can talk to them through any transport — the
+	// in-process mailbox (NewWorker) or net/rpc (package rpc).
+	Workers []Caller
+	// GPUs[i] serializes compute on device i.
+	GPUs []*sim.Resource
+	// Links[i] serializes the i -> i+1 activation channel.
+	Links []*sim.Resource
+	// Rec records busy intervals for utilization metrics.
+	Rec *metrics.Recorder
+
+	// BlockingP2P switches stage-to-stage transfers to the blocking
+	// rendezvous style of stock vLLM pipeline parallelism (§3.2): a
+	// send waits for the receiver to be free and stalls the sender
+	// until delivery. TD-Pipe's hierarchy-controller leaves this
+	// false — transfers are asynchronous and the sender GPU is
+	// released at compute end.
+	BlockingP2P bool
+}
+
+// NewCluster builds a world-size pipeline over the node's GPUs, spawns
+// and initializes the worker actors, and wires busy-interval recording.
+func NewCluster(eng *sim.Engine, node hw.Node, spec model.Spec, world int) (*Cluster, error) {
+	if world > node.NumGPUs {
+		return nil, fmt.Errorf("runtime: world %d exceeds node GPUs %d", world, node.NumGPUs)
+	}
+	cost, err := costmodel.New(node, spec)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := model.Partition(spec, world)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Eng:  eng,
+		Node: node,
+		Cost: cost,
+		Plan: plan,
+		Rec:  metrics.NewRecorder(world),
+	}
+	for i := 0; i < world; i++ {
+		gpu := sim.NewResource(eng, fmt.Sprintf("gpu%d", i))
+		gpu.Observe(c.Rec.ObserverFor(i))
+		c.GPUs = append(c.GPUs, gpu)
+		if i < world-1 {
+			c.Links = append(c.Links, sim.NewResource(eng, fmt.Sprintf("link%d-%d", i, i+1)))
+		}
+		w := NewWorker()
+		if rep := w.Call(Init{Plan: plan, Rank: i, World: world, Cost: cost}); isErr(rep) {
+			return nil, rep.(ErrorReply).Err
+		}
+		c.Workers = append(c.Workers, w)
+	}
+	return c, nil
+}
+
+// World returns the pipeline depth.
+func (c *Cluster) World() int { return len(c.Workers) }
+
+// Shutdown stops all worker goroutines.
+func (c *Cluster) Shutdown() {
+	for _, w := range c.Workers {
+		w.Call(Shutdown{})
+	}
+}
+
+func isErr(m Msg) bool {
+	_, bad := m.(ErrorReply)
+	return bad
+}
+
+// StageTask produces the control message for one stage of a pipeline
+// pass. Schedulers supply it so each stage can carry stage-specific
+// work (e.g. hybrid batches differ per stage only in timing).
+type StageTask func(stage int) Msg
+
+// PassResult reports the completion of a full pipeline pass.
+type PassResult struct {
+	// Start is when stage 0 began computing.
+	Start sim.Time
+	// End is when the last stage finished computing.
+	End sim.Time
+	// StageEnds are per-stage compute completion times.
+	StageEnds []sim.Time
+}
+
+// SubmitPass runs one task through every pipeline stage in order,
+// beginning no earlier than readyAt. Stage s+1 starts after stage s's
+// compute completes and the activation crosses link s (the link is a
+// separate resource, so the sender GPU is free during the transfer —
+// asynchronous P2P). onDone, if non-nil, fires at the final stage's
+// completion. SubmitPass returns immediately; all effects happen in
+// virtual time.
+//
+// Stages are reserved eagerly in submission order, which preserves FIFO
+// execution per GPU across interleaved passes — exactly the in-order
+// launch queue a real stream gives you.
+func (c *Cluster) SubmitPass(task StageTask, readyAt sim.Time, onDone func(PassResult)) {
+	res := PassResult{StageEnds: make([]sim.Time, c.World())}
+	c.runStage(task, 0, readyAt, &res, onDone)
+}
+
+func (c *Cluster) runStage(task StageTask, st int, arrival sim.Time, res *PassResult, onDone func(PassResult)) {
+	rep := c.Workers[st].Call(task(st))
+	er, ok := rep.(ExecResult)
+	if !ok {
+		panic(fmt.Sprintf("runtime: stage %d worker error: %v", st, rep))
+	}
+	start, end := c.GPUs[st].Acquire(arrival, er.Dur, nil)
+	if st == 0 {
+		res.Start = start
+	}
+	res.StageEnds[st] = end
+	if st == c.World()-1 {
+		res.End = end
+		if onDone != nil {
+			c.Eng.At(end, func() { onDone(*res) })
+		}
+		return
+	}
+	// Transfer occupies the link; compute of the next stage begins
+	// when the payload lands.
+	xfer := c.Cost.P2PActivation(er.SendTokens)
+	xferReady := end
+	if c.BlockingP2P {
+		// Rendezvous send: wait for the receiver to drain its queue,
+		// and stall the sender (unavailable, not busy) until the
+		// payload is delivered.
+		if recvFree := c.GPUs[st+1].FreeAt(); recvFree > xferReady {
+			xferReady = recvFree
+		}
+	}
+	_, landed := c.Links[st].Acquire(xferReady, xfer, nil)
+	if c.BlockingP2P {
+		c.GPUs[st].Occupy(landed)
+	}
+	c.Eng.At(landed, func() {
+		c.runStage(task, st+1, landed, res, onDone)
+	})
+}
+
+// PrefillTask returns a StageTask for a prefill batch.
+func PrefillTask(b costmodel.PrefillBatch) StageTask {
+	return func(int) Msg { return ExecPrefill{Batch: b} }
+}
+
+// DecodeTask returns a StageTask for one decode step.
+func DecodeTask(batch, kvTokens int) StageTask {
+	return func(int) Msg { return ExecDecode{BatchSize: batch, KVTokens: kvTokens} }
+}
+
+// HybridTask returns a StageTask for a hybrid iteration.
+func HybridTask(decodeBatch, kvTokens, chunkTokens, chunkCtx int) StageTask {
+	return func(int) Msg {
+		return ExecHybrid{DecodeBatch: decodeBatch, KVTokens: kvTokens, ChunkTokens: chunkTokens, ChunkCtx: chunkCtx}
+	}
+}

@@ -1,0 +1,207 @@
+// Package runtime implements the paper's distributed runtime — the
+// execution plane of the hierarchy-controller structure (§3.2). Each
+// GPU is served by a worker actor running in its own goroutine with a
+// channel mailbox; the centralized engine (the control plane, package
+// core) sends typed control messages and receives typed replies, never
+// touching worker state directly. Workers know only their own stage,
+// their rank in the global communication context, and which neighbour
+// they send activations to — the SPMD property of §3.2.2.
+//
+// Virtual time lives in the simulation kernel: a worker computes how
+// long a task runs (via the cost model, standing in for the GPU), and
+// the cluster schedules that duration on the GPU's resource. Transfers
+// occupy a separate link resource, so computation is released before
+// the activation lands on the next stage — the "unblocked transmission"
+// the hierarchy-controller exists to enable.
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/model"
+)
+
+// Msg is a control-plane message.
+type Msg interface{ isMsg() }
+
+// Init configures a worker with its model slice and comm context.
+type Init struct {
+	Plan  model.PipelinePlan
+	Rank  int
+	World int
+	Cost  *costmodel.Model
+}
+
+// InitAck reports the worker's resident weight bytes.
+type InitAck struct {
+	Rank        int
+	WeightBytes float64
+}
+
+// ExecPrefill asks a worker to run its layers over a prefill batch.
+type ExecPrefill struct {
+	Batch costmodel.PrefillBatch
+}
+
+// ExecDecode asks a worker to run one decode step.
+type ExecDecode struct {
+	BatchSize int
+	KVTokens  int
+}
+
+// ExecChunked asks a worker to run a chunked-prefill piece.
+type ExecChunked struct {
+	ChunkTokens int
+	CtxTokens   int
+}
+
+// ExecHybrid asks a worker to run a hybrid (decode + prefill chunk)
+// iteration.
+type ExecHybrid struct {
+	DecodeBatch int
+	KVTokens    int
+	ChunkTokens int
+	ChunkCtx    int
+}
+
+// ExecResult reports a task duration and the activation payload the
+// worker forwards to its pipeline neighbour (0 for the last stage).
+type ExecResult struct {
+	Rank       int
+	Dur        float64
+	SendTokens int
+}
+
+// Shutdown stops the worker goroutine.
+type Shutdown struct{}
+
+// Ack is the empty successful reply.
+type Ack struct{}
+
+// ErrorReply carries a worker-side failure.
+type ErrorReply struct{ Err error }
+
+func (Init) isMsg()        {}
+func (InitAck) isMsg()     {}
+func (ExecPrefill) isMsg() {}
+func (ExecDecode) isMsg()  {}
+func (ExecChunked) isMsg() {}
+func (ExecHybrid) isMsg()  {}
+func (ExecResult) isMsg()  {}
+func (Shutdown) isMsg()    {}
+func (Ack) isMsg()         {}
+func (ErrorReply) isMsg()  {}
+
+// Caller is the control plane's view of a worker endpoint: send one
+// control message, get one reply. Implemented by *Worker (in-process
+// mailbox) and by the RPC client in package rpc.
+type Caller interface {
+	Call(Msg) Msg
+}
+
+// call pairs a message with its reply channel.
+type call struct {
+	msg   Msg
+	reply chan Msg
+}
+
+// Worker is one execution-plane actor.
+type Worker struct {
+	inbox chan call
+
+	// Worker-local state, owned by the worker goroutine after start.
+	rank  int
+	world int
+	plan  model.PipelinePlan
+	cost  *costmodel.Model
+	ready bool
+}
+
+// NewWorker starts a worker goroutine and returns its handle.
+func NewWorker() *Worker {
+	w := &Worker{inbox: make(chan call)}
+	go w.loop()
+	return w
+}
+
+// Call sends msg and blocks until the worker replies. Messages are
+// processed strictly one at a time, so interaction remains
+// deterministic under the simulation's single-threaded event loop.
+func (w *Worker) Call(msg Msg) Msg {
+	c := call{msg: msg, reply: make(chan Msg)}
+	w.inbox <- c
+	return <-c.reply
+}
+
+func (w *Worker) loop() {
+	for c := range w.inbox {
+		reply := w.handle(c.msg)
+		c.reply <- reply
+		if _, stop := c.msg.(Shutdown); stop {
+			return
+		}
+	}
+}
+
+func (w *Worker) handle(msg Msg) Msg {
+	switch m := msg.(type) {
+	case Init:
+		if m.Rank < 0 || m.Rank >= m.World || m.World != len(m.Plan.Stages) {
+			return ErrorReply{fmt.Errorf("runtime: bad init rank=%d world=%d stages=%d", m.Rank, m.World, len(m.Plan.Stages))}
+		}
+		w.rank, w.world, w.plan, w.cost = m.Rank, m.World, m.Plan, m.Cost
+		w.ready = true
+		return InitAck{Rank: w.rank, WeightBytes: w.plan.StageWeightBytes(w.rank)}
+	case ExecPrefill:
+		if !w.ready {
+			return ErrorReply{fmt.Errorf("runtime: exec before init")}
+		}
+		return ExecResult{
+			Rank:       w.rank,
+			Dur:        w.cost.PrefillStage(w.plan, w.rank, m.Batch),
+			SendTokens: w.sendTokens(m.Batch.Tokens),
+		}
+	case ExecDecode:
+		if !w.ready {
+			return ErrorReply{fmt.Errorf("runtime: exec before init")}
+		}
+		return ExecResult{
+			Rank:       w.rank,
+			Dur:        w.cost.DecodeStage(w.plan, w.rank, m.BatchSize, m.KVTokens),
+			SendTokens: w.sendTokens(m.BatchSize),
+		}
+	case ExecChunked:
+		if !w.ready {
+			return ErrorReply{fmt.Errorf("runtime: exec before init")}
+		}
+		return ExecResult{
+			Rank:       w.rank,
+			Dur:        w.cost.ChunkedPrefillStage(w.plan, w.rank, m.ChunkTokens, m.CtxTokens),
+			SendTokens: w.sendTokens(m.ChunkTokens),
+		}
+	case ExecHybrid:
+		if !w.ready {
+			return ErrorReply{fmt.Errorf("runtime: exec before init")}
+		}
+		return ExecResult{
+			Rank:       w.rank,
+			Dur:        w.cost.HybridStage(w.plan, w.rank, m.DecodeBatch, m.KVTokens, m.ChunkTokens, m.ChunkCtx),
+			SendTokens: w.sendTokens(m.DecodeBatch + m.ChunkTokens),
+		}
+	case Shutdown:
+		return Ack{}
+	default:
+		return ErrorReply{fmt.Errorf("runtime: unknown message %T", msg)}
+	}
+}
+
+// sendTokens returns the activation tokens forwarded downstream, or 0 on
+// the last stage (its output goes back to the engine as metadata, which
+// the paper treats as negligible RPC traffic).
+func (w *Worker) sendTokens(tokens int) int {
+	if w.rank == w.world-1 {
+		return 0
+	}
+	return tokens
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event dispatch rate — the DES
+// kernel's hot path.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, tick)
+	e.Run()
+}
+
+// BenchmarkResourceAcquire measures FIFO reservation cost.
+func BenchmarkResourceAcquire(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "gpu")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(Time(i), 0.5, nil)
+	}
+}
+
+// BenchmarkHeapChurn measures interleaved scheduling at many distinct
+// times (worst case for the event heap).
+func BenchmarkHeapChurn(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := Time(i % 1024)
+		e.At(t+Time(b.N), func() {})
+	}
+	e.Run()
+}

@@ -1,0 +1,68 @@
+package sim
+
+// Resource models a serially-occupied device (a GPU stream, a PCIe
+// link): work items run one at a time in submission order. It tracks
+// cumulative busy time so utilization can be derived.
+type Resource struct {
+	eng  *Engine
+	name string
+
+	freeAt Time // time the resource finishes its last accepted work
+	busy   Duration
+
+	// optional busy-interval observer, used by metrics recorders.
+	onBusy func(start, end Time)
+}
+
+// NewResource creates a resource bound to engine e.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{eng: e, name: name}
+}
+
+// Name returns the resource name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// FreeAt returns the earliest time at which the resource is free.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime returns total time the resource has spent occupied.
+func (r *Resource) BusyTime() Duration { return r.busy }
+
+// Observe registers fn to be called with every busy interval accepted by
+// the resource. Only one observer is supported; later calls replace it.
+func (r *Resource) Observe(fn func(start, end Time)) { r.onBusy = fn }
+
+// Occupy blocks the resource until t without counting the time as busy
+// work: the device is unavailable but idle (e.g. a GPU stalled on a
+// blocking send). No-op if the resource is already occupied past t.
+func (r *Resource) Occupy(until Time) {
+	if until > r.freeAt {
+		r.freeAt = until
+	}
+}
+
+// Acquire reserves the resource for dur seconds starting no earlier than
+// readyAt, queueing FIFO behind prior work. It returns the start and end
+// of the reserved interval and schedules done (if non-nil) at the end.
+func (r *Resource) Acquire(readyAt Time, dur Duration, done func()) (start, end Time) {
+	if dur < 0 {
+		panic("sim: negative duration")
+	}
+	start = readyAt
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	if now := r.eng.Now(); now > start {
+		start = now
+	}
+	end = start + Time(dur)
+	r.freeAt = end
+	r.busy += dur
+	if r.onBusy != nil && dur > 0 {
+		r.onBusy(start, end)
+	}
+	if done != nil {
+		r.eng.At(end, done)
+	}
+	return start, end
+}

@@ -1,0 +1,145 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All TD-Pipe experiments run in virtual time: schedulers and the
+// distributed runtime schedule work as events on an Engine, and the
+// engine executes them in strict (time, sequence) order. Determinism is
+// guaranteed by breaking time ties with a monotonically increasing
+// sequence number, so two runs with the same seed produce identical
+// traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Infinity is a time later than any event the simulation will produce.
+const Infinity Time = Time(math.MaxFloat64)
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap over (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	steps   uint64
+	// MaxSteps bounds the number of events processed by Run as a
+	// runaway guard; 0 means no limit.
+	MaxSteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it indicates a scheduler bug, not a recoverable condition.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+Time(d), fn)
+}
+
+// Immediately schedules fn at the current time, after all events already
+// scheduled for the current time.
+func (e *Engine) Immediately(fn func()) { e.At(e.now, fn) }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Run executes events in order until the queue is empty, Stop is called,
+// or MaxSteps is exceeded (which panics, as it indicates a scheduler
+// livelock). It returns the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("sim: event heap time went backwards")
+		}
+		e.now = ev.at
+		e.steps++
+		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= deadline and then stops, leaving
+// later events queued. It returns the final virtual time (== deadline if
+// any events remained).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.steps++
+		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
+		}
+		ev.fn()
+	}
+	return e.now
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{3, 1, 2, 5, 4} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	end := e.Run()
+	if end != 5 {
+		t.Fatalf("final time = %v, want 5", end)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndImmediately(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(1, func() {
+		e.Immediately(func() { order = append(order, "imm") })
+		e.After(2, func() { order = append(order, "after") })
+		order = append(order, "first")
+	})
+	e.Run()
+	want := []string{"first", "imm", "after"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final time = %v, want 3", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++; e.Stop() })
+	e.At(2, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("ran %d events before stop, want 1", n)
+	}
+	// Run again resumes with remaining events.
+	e.Run()
+	if n != 2 {
+		t.Fatalf("ran %d events total, want 2", n)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=2.5, want 2", len(fired))
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("clock = %v, want 2.5", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestEngineMaxStepsGuard(t *testing.T) {
+	e := NewEngine()
+	e.MaxSteps = 100
+	var loop func()
+	loop = func() { e.Immediately(loop) }
+	e.Immediately(loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("livelock did not trip MaxSteps panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestResourceFIFOAndBusyTime(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "gpu0")
+	s1, e1 := r.Acquire(0, 2, nil)
+	s2, e2 := r.Acquire(0, 3, nil)
+	s3, e3 := r.Acquire(10, 1, nil)
+	if s1 != 0 || e1 != 2 {
+		t.Fatalf("first interval [%v,%v], want [0,2]", s1, e1)
+	}
+	if s2 != 2 || e2 != 5 {
+		t.Fatalf("second interval [%v,%v], want [2,5] (FIFO queue)", s2, e2)
+	}
+	if s3 != 10 || e3 != 11 {
+		t.Fatalf("third interval [%v,%v], want [10,11] (respects readyAt)", s3, e3)
+	}
+	if r.BusyTime() != 6 {
+		t.Fatalf("busy time = %v, want 6", r.BusyTime())
+	}
+}
+
+func TestResourceCompletionCallback(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "gpu0")
+	var doneAt Time = -1
+	r.Acquire(1, 2, func() { doneAt = e.Now() })
+	e.Run()
+	if doneAt != 3 {
+		t.Fatalf("completion at %v, want 3", doneAt)
+	}
+}
+
+func TestResourceObserver(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "gpu0")
+	var intervals [][2]Time
+	r.Observe(func(s, en Time) { intervals = append(intervals, [2]Time{s, en}) })
+	r.Acquire(0, 1, nil)
+	r.Acquire(0, 0, nil) // zero-length work is not observed
+	r.Acquire(5, 2, nil)
+	if len(intervals) != 2 {
+		t.Fatalf("observed %d intervals, want 2", len(intervals))
+	}
+	if intervals[1] != [2]Time{5, 7} {
+		t.Fatalf("second interval = %v, want [5 7]", intervals[1])
+	}
+}
+
+// Property: however events are scheduled, they execute in nondecreasing
+// time order and the engine clock never moves backwards.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(times []float64) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, raw := range times {
+			at := Time(raw)
+			if at < 0 {
+				at = -at
+			}
+			if at > 1e12 {
+				continue
+			}
+			at2 := at
+			e.At(at2, func() { fired = append(fired, at2) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a resource never overlaps two work items and its busy time
+// equals the sum of the requested durations.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource(e, "r")
+		var prevEnd Time
+		var total Duration
+		for i := 0; i < int(n%50); i++ {
+			ready := Time(rng.Float64() * 100)
+			dur := rng.Float64() * 10
+			s, en := r.Acquire(ready, dur, nil)
+			if s < prevEnd || en < s || s < ready {
+				return false
+			}
+			prevEnd = en
+			total += dur
+		}
+		return r.BusyTime() == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace exports simulation observables — utilization timelines,
+// KV-usage traces and per-GPU busy intervals — as CSV and JSON, so
+// results can be plotted or diffed outside the repository.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// WriteUtilizationCSV writes a utilization timeline as (time, util)
+// rows.
+func WriteUtilizationCSV(w io.Writer, pts []metrics.UtilPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "utilization"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(p.Time, 'f', 6, 64),
+			strconv.FormatFloat(p.Utilization, 'f', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteKVCSV writes a KV-usage timeline as (step, time, usage, phase)
+// rows — the raw data behind the paper's Figure 12.
+func WriteKVCSV(w io.Writer, pts []metrics.KVPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"step", "time_s", "usage", "phase"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.Step),
+			strconv.FormatFloat(p.Time, 'f', 6, 64),
+			strconv.FormatFloat(p.Usage, 'f', 6, 64),
+			p.Phase.String(),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBusyIntervalsCSV writes every recorded busy interval as
+// (gpu, start, end) rows — a Gantt chart source for bubble inspection.
+func WriteBusyIntervalsCSV(w io.Writer, rec *metrics.Recorder) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"gpu", "start_s", "end_s"}); err != nil {
+		return err
+	}
+	for g := 0; g < rec.GPUs(); g++ {
+		for _, iv := range rec.Intervals(g) {
+			if err := cw.Write([]string{
+				strconv.Itoa(g),
+				strconv.FormatFloat(iv.Start, 'f', 6, 64),
+				strconv.FormatFloat(iv.End, 'f', 6, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Run bundles a report with its timelines for JSON export.
+type Run struct {
+	Report      metrics.Report      `json:"report"`
+	Utilization []metrics.UtilPoint `json:"utilization,omitempty"`
+	KV          []metrics.KVPoint   `json:"kv,omitempty"`
+}
+
+// WriteRunJSON writes the bundle as indented JSON.
+func WriteRunJSON(w io.Writer, run Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(run)
+}
+
+// ReadRunJSON parses a bundle written by WriteRunJSON.
+func ReadRunJSON(r io.Reader) (Run, error) {
+	var run Run
+	if err := json.NewDecoder(r).Decode(&run); err != nil {
+		return Run{}, fmt.Errorf("trace: decoding run: %w", err)
+	}
+	return run, nil
+}

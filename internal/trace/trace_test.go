@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestWriteUtilizationCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []metrics.UtilPoint{{Time: 1, Utilization: 0.5}, {Time: 2, Utilization: 0.75}}
+	if err := WriteUtilizationCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "time_s" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[2][1] != "0.750000" {
+		t.Errorf("utilization cell = %q", rows[2][1])
+	}
+}
+
+func TestWriteKVCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []metrics.KVPoint{
+		{Step: 1, Time: 0.5, Usage: 0.25, Phase: metrics.PhasePrefill},
+		{Step: 2, Time: 1.0, Usage: 0.50, Phase: metrics.PhaseDecode},
+	}
+	if err := WriteKVCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "prefill") || !strings.Contains(s, "decode") {
+		t.Errorf("csv missing phases: %q", s)
+	}
+	rows, _ := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestWriteBusyIntervalsCSV(t *testing.T) {
+	rec := metrics.NewRecorder(2)
+	rec.Add(0, 0, 1)
+	rec.Add(1, 0.5, 2)
+	var buf bytes.Buffer
+	if err := WriteBusyIntervalsCSV(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := csv.NewReader(&buf).ReadAll()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[2][0] != "1" {
+		t.Errorf("gpu column = %q", rows[2][0])
+	}
+}
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	run := Run{
+		Report:      metrics.Report{Scheduler: "TD-Pipe", OutputTokens: 100, Elapsed: 2},
+		Utilization: []metrics.UtilPoint{{Time: 1, Utilization: 0.9}},
+		KV:          []metrics.KVPoint{{Step: 3, Usage: 0.4, Phase: metrics.PhaseDecode}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRunJSON(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Report.Scheduler != "TD-Pipe" || got.Report.OutputTokens != 100 {
+		t.Errorf("report round trip = %+v", got.Report)
+	}
+	if len(got.Utilization) != 1 || len(got.KV) != 1 {
+		t.Errorf("timelines round trip = %+v", got)
+	}
+	if got.KV[0].Phase != metrics.PhaseDecode {
+		t.Errorf("phase round trip = %v", got.KV[0].Phase)
+	}
+}
+
+func TestReadRunJSONError(t *testing.T) {
+	if _, err := ReadRunJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("bad json accepted")
+	}
+}

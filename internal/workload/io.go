@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Traces can be exported and re-imported as JSON so users can evaluate
+// the schedulers on their own request mixes (e.g. real dataset lengths)
+// instead of the synthetic generator.
+
+// jsonRequest is the stable wire form of a Request.
+type jsonRequest struct {
+	ID        int       `json:"id"`
+	InputLen  int       `json:"input_len"`
+	OutputLen int       `json:"output_len"`
+	Topic     int       `json:"topic,omitempty"`
+	Features  []float64 `json:"features,omitempty"`
+}
+
+// WriteJSON exports a trace.
+func WriteJSON(w io.Writer, reqs []Request) error {
+	out := make([]jsonRequest, len(reqs))
+	for i, r := range reqs {
+		out[i] = jsonRequest{ID: r.ID, InputLen: r.InputLen, OutputLen: r.OutputLen, Topic: r.Topic, Features: r.Features}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON imports a trace, validating that every request is usable by
+// the schedulers (positive lengths, dense IDs in file order).
+func ReadJSON(r io.Reader) ([]Request, error) {
+	var in []jsonRequest
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	reqs := make([]Request, len(in))
+	for i, jr := range in {
+		if jr.InputLen <= 0 || jr.OutputLen <= 0 {
+			return nil, fmt.Errorf("workload: request %d has non-positive lengths (%d, %d)", i, jr.InputLen, jr.OutputLen)
+		}
+		reqs[i] = Request{ID: i, InputLen: jr.InputLen, OutputLen: jr.OutputLen, Topic: jr.Topic, Features: jr.Features}
+	}
+	return reqs, nil
+}

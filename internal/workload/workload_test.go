@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(500, 7)
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	for i := range a {
+		if a[i].InputLen != b[i].InputLen || a[i].OutputLen != b[i].OutputLen || a[i].Topic != b[i].Topic {
+			t.Fatalf("trace not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(DefaultConfig(200, 1))
+	b := MustGenerate(DefaultConfig(200, 2))
+	same := 0
+	for i := range a {
+		if a[i].InputLen == b[i].InputLen && a[i].OutputLen == b[i].OutputLen {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateRespectsLengthCaps(t *testing.T) {
+	cfg := DefaultConfig(2000, 3)
+	for _, r := range MustGenerate(cfg) {
+		if r.InputLen < 4 || r.InputLen > cfg.MaxInputLen {
+			t.Fatalf("input len %d outside [4,%d]", r.InputLen, cfg.MaxInputLen)
+		}
+		if r.OutputLen < 1 || r.OutputLen > cfg.MaxOutputLen {
+			t.Fatalf("output len %d outside [1,%d]", r.OutputLen, cfg.MaxOutputLen)
+		}
+		if len(r.Features) != cfg.FeatureDim+1 {
+			t.Fatalf("feature dim %d", len(r.Features))
+		}
+	}
+}
+
+func TestShareGPTLikeMarginals(t *testing.T) {
+	s := Summarize(MustGenerate(DefaultConfig(20000, 11)))
+	// ShareGPT-like: prompt median in the low hundreds, mean a few
+	// hundred, heavy tail toward the 1023 cap.
+	if s.P50Input < 80 || s.P50Input > 400 {
+		t.Errorf("median input = %d, want 80-400", s.P50Input)
+	}
+	if s.MeanInput < 150 || s.MeanInput > 500 {
+		t.Errorf("mean input = %.0f, want 150-500", s.MeanInput)
+	}
+	if s.MaxInput > 1023 {
+		t.Errorf("max input = %d", s.MaxInput)
+	}
+	// Outputs: mean in the low hundreds with a long tail.
+	if s.MeanOutput < 100 || s.MeanOutput > 500 {
+		t.Errorf("mean output = %.0f, want 100-500", s.MeanOutput)
+	}
+	if s.P99Output < 2*s.P50Output {
+		t.Errorf("output tail too light: p50=%d p99=%d", s.P50Output, s.P99Output)
+	}
+}
+
+func TestTopicsDriveOutputLength(t *testing.T) {
+	reqs := MustGenerate(DefaultConfig(20000, 5))
+	cfg := DefaultConfig(0, 0)
+	sums := make([]float64, cfg.Topics)
+	counts := make([]int, cfg.Topics)
+	for _, r := range reqs {
+		sums[r.Topic] += float64(r.OutputLen)
+		counts[r.Topic]++
+	}
+	lo := sums[0] / float64(counts[0])
+	hi := sums[cfg.Topics-1] / float64(counts[cfg.Topics-1])
+	if hi < 3*lo {
+		t.Errorf("topic output means not separated: topic0=%.0f topicN=%.0f", lo, hi)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := DefaultConfig(10, 1)
+	bad.N = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad = DefaultConfig(10, 1)
+	bad.Topics = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("Topics=0 accepted")
+	}
+	bad = DefaultConfig(10, 1)
+	bad.FeatureDim = 2
+	if _, err := Generate(bad); err == nil {
+		t.Error("FeatureDim < Topics accepted")
+	}
+	bad = DefaultConfig(10, 1)
+	bad.MaxInputLen = 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("tiny MaxInputLen accepted")
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	reqs := MustGenerate(DefaultConfig(1000, 9))
+	train, val, test := Split(reqs, 0.6, 0.2)
+	if len(train) != 600 || len(val) != 200 || len(test) != 200 {
+		t.Errorf("split sizes = %d/%d/%d", len(train), len(val), len(test))
+	}
+	if train[0].ID != reqs[0].ID || test[199].ID != reqs[999].ID {
+		t.Error("split reordered requests")
+	}
+}
+
+func TestSampleRenumbersAndBounds(t *testing.T) {
+	reqs := MustGenerate(DefaultConfig(100, 9))
+	s := Sample(reqs, 10, 42)
+	if len(s) != 10 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+	for i, r := range s {
+		if r.ID != i {
+			t.Errorf("sample ID %d at %d not renumbered", r.ID, i)
+		}
+	}
+	// Oversampling returns everything.
+	if got := Sample(reqs, 1000, 42); len(got) != 100 {
+		t.Errorf("oversample size = %d", len(got))
+	}
+	// Deterministic.
+	a, b := Sample(reqs, 10, 7), Sample(reqs, 10, 7)
+	for i := range a {
+		if a[i].InputLen != b[i].InputLen {
+			t.Fatal("sample not deterministic")
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.MeanInput != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentileInt(t *testing.T) {
+	sorted := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := PercentileInt(sorted, 0); got != 1 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := PercentileInt(sorted, 100); got != 10 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := PercentileInt(sorted, 50); got != 5 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := PercentileInt(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+}
+
+func TestTotalLen(t *testing.T) {
+	r := Request{InputLen: 3, OutputLen: 4}
+	if r.TotalLen() != 7 {
+		t.Errorf("TotalLen = %d", r.TotalLen())
+	}
+}
+
+// Property: any valid config yields requests within bounds with correct
+// feature dimensionality.
+func TestGenerateBoundsProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		cfg := DefaultConfig(int(n%64)+1, seed)
+		reqs, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		for _, r := range reqs {
+			if r.InputLen < 4 || r.InputLen > cfg.MaxInputLen ||
+				r.OutputLen < 1 || r.OutputLen > cfg.MaxOutputLen ||
+				r.Topic < 0 || r.Topic >= cfg.Topics ||
+				len(r.Features) != cfg.FeatureDim+1 {
+				return false
+			}
+			for _, f := range r.Features {
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package tdpipe is the public facade of the TD-Pipe reproduction: a
+// temporally-disaggregated pipeline-parallelism engine for
+// high-throughput offline LLM inference (Zhang et al., ICPP 2025),
+// together with the simulated multi-GPU substrate it runs on and the
+// four vLLM-style baselines it is evaluated against.
+//
+// The typical flow is:
+//
+//	trace := tdpipe.NewTrace(5000, 1)                  // ShareGPT-like requests
+//	clf := tdpipe.TrainPredictor(trace.Train)          // output-length predictor
+//	cfg := tdpipe.NewConfig(tdpipe.A100, tdpipe.Llama2_70B, 4)
+//	cfg.Predictor = clf
+//	res, err := tdpipe.Run(cfg, trace.Sample(5000))
+//	fmt.Println(res.Report)
+//
+// Baselines run through RunBaseline, and the paper's full evaluation is
+// reproduced by the cmd/tdpipe binary (see EXPERIMENTS.md).
+package tdpipe
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/workload"
+)
+
+// Re-exported hardware and model catalogs (paper Tables 1 and 2).
+var (
+	// L20 is the 4x NVIDIA L20 PCIe node.
+	L20 = hw.L20
+	// A100 is the 4x NVIDIA A100 PCIe node.
+	A100 = hw.A100
+	// Llama2_13B is Llama2-13B-chat.
+	Llama2_13B = model.Llama2_13B
+	// Qwen2_5_32B is Qwen2.5-32B-Instruct.
+	Qwen2_5_32B = model.Qwen2_5_32B
+	// Llama2_70B is Llama2-70B-chat.
+	Llama2_70B = model.Llama2_70B
+)
+
+// Core aliases: the engine configuration and results.
+type (
+	// Node describes a multi-GPU server.
+	Node = hw.Node
+	// ModelSpec describes a transformer model.
+	ModelSpec = model.Spec
+	// Config parameterizes the TD-Pipe engine.
+	Config = core.Config
+	// Result is a TD-Pipe run outcome.
+	Result = core.Result
+	// Report summarizes any run.
+	Report = metrics.Report
+	// Request is one inference request.
+	Request = workload.Request
+	// Predictor estimates output lengths for the greedy prefill.
+	Predictor = core.LenPredictor
+	// BaselineMethod selects one of the paper's comparison systems.
+	BaselineMethod = baselines.Method
+	// BaselineResult is a baseline run outcome.
+	BaselineResult = baselines.Result
+)
+
+// Baseline methods (paper §4.1).
+const (
+	TPSB = baselines.TPSB
+	TPHB = baselines.TPHB
+	PPSB = baselines.PPSB
+	PPHB = baselines.PPHB
+)
+
+// NewConfig returns a paper-faithful TD-Pipe configuration for world
+// GPUs of the node running the model. The default predictor is the
+// oracle; install a trained classifier for realistic behaviour.
+func NewConfig(node Node, spec ModelSpec, world int) Config {
+	return core.DefaultConfig(node, spec, world)
+}
+
+// Run executes the trace under TD-Pipe in virtual time.
+func Run(cfg Config, reqs []Request) (*Result, error) {
+	return core.Run(cfg, reqs)
+}
+
+// NewBaselineConfig returns a vLLM-like configuration for one of the
+// four baselines.
+func NewBaselineConfig(node Node, spec ModelSpec, world int, m BaselineMethod) baselines.Config {
+	return baselines.DefaultConfig(node, spec, world, m)
+}
+
+// RunBaseline executes the trace under a baseline scheduler.
+func RunBaseline(cfg baselines.Config, reqs []Request) (*BaselineResult, error) {
+	return baselines.Run(cfg, reqs)
+}
+
+// Trace bundles a generated corpus with its train/val/test split.
+type Trace struct {
+	All        []Request
+	Train, Val []Request
+	Test       []Request
+}
+
+// NewTrace generates a seeded ShareGPT-like corpus of n requests and
+// splits it 60/20/20 as in the paper.
+func NewTrace(n int, seed int64) (*Trace, error) {
+	reqs, err := workload.Generate(workload.DefaultConfig(n, seed))
+	if err != nil {
+		return nil, err
+	}
+	tr, val, test := workload.Split(reqs, 0.6, 0.2)
+	return &Trace{All: reqs, Train: tr, Val: val, Test: test}, nil
+}
+
+// Sample draws k requests (deterministically re-seeded from the trace)
+// renumbered for direct use with Run.
+func (t *Trace) Sample(k int, seed int64) []Request {
+	return workload.Sample(t.All, k, seed)
+}
+
+// TrainPredictor fits the µ-Serve-style five-bin output-length
+// classifier on historical requests.
+func TrainPredictor(train []Request) (*predictor.Classifier, error) {
+	return predictor.Train(train, predictor.DefaultTrainConfig())
+}
+
+// TraceConfig controls synthetic trace generation for custom workloads
+// (prompt/output length distributions, topic structure, noise).
+type TraceConfig = workload.Config
+
+// DefaultTraceConfig returns ShareGPT-like generation settings.
+func DefaultTraceConfig(n int, seed int64) TraceConfig {
+	return workload.DefaultConfig(n, seed)
+}
+
+// GenerateTrace produces a deterministic trace from a custom config and
+// splits it 60/20/20.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) {
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, val, test := workload.Split(reqs, 0.6, 0.2)
+	return &Trace{All: reqs, Train: tr, Val: val, Test: test}, nil
+}

@@ -1,0 +1,57 @@
+package tdpipe
+
+import "testing"
+
+func TestFacadeEndToEnd(t *testing.T) {
+	trace, err := NewTrace(3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := TrainPredictor(trace.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(A100, Llama2_70B, 4)
+	cfg.Predictor = clf
+	reqs := trace.Sample(500, 1)
+	res, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Requests != 500 || res.Report.OutputThroughput() <= 0 {
+		t.Errorf("report = %v", res.Report)
+	}
+
+	bres, err := RunBaseline(NewBaselineConfig(A100, Llama2_70B, 4, PPSB), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Report.Scheduler != "PP+SB" {
+		t.Errorf("baseline scheduler = %q", bres.Report.Scheduler)
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	if L20.GPU.MemGB != 48 || A100.GPU.MemGB != 80 {
+		t.Error("node catalog wrong")
+	}
+	for _, m := range []ModelSpec{Llama2_13B, Qwen2_5_32B, Llama2_70B} {
+		if err := m.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFacadeTraceSplit(t *testing.T) {
+	trace, err := NewTrace(1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Train) != 600 || len(trace.Val) != 200 || len(trace.Test) != 200 {
+		t.Errorf("split = %d/%d/%d", len(trace.Train), len(trace.Val), len(trace.Test))
+	}
+	s := trace.Sample(10, 1)
+	if len(s) != 10 || s[0].ID != 0 {
+		t.Errorf("sample = %v", s)
+	}
+}
