@@ -1,0 +1,27 @@
+# Tier-1 verify is `make ci` (build + vet + test + race).
+
+GO ?= go
+
+.PHONY: build vet test race bench fuzz ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The fleet layer runs engine replicas on real goroutines; race-check it
+# together with the engine it drives.
+race:
+	$(GO) test -race ./internal/fleet/... ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzGenerateSplitInvariants -fuzztime=30s ./internal/workload/
+
+ci: build vet test race

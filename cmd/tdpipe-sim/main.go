@@ -5,8 +5,13 @@
 //
 //	tdpipe-sim -node A100 -model 70B -gpus 4 -sched tdpipe -requests 2000
 //	tdpipe-sim -sched pp+hb -node L20 -model 32B -out run/   # CSV + JSON
+//	tdpipe-sim -replicas 4 -policy predicted-cost            # fleet mode
 //
-// Schedulers: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload.
+// Schedulers: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload. With
+// -replicas N > 1 the trace is sharded across N data-parallel TD-Pipe
+// replicas under the -policy dispatch policy (round-robin, random,
+// least-work, predicted-cost); fleet mode requires -sched tdpipe and
+// exports only the aggregate run.json with -out.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -38,9 +44,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "trace seed")
 		outDir    = flag.String("out", "", "directory for CSV/JSON export (optional)")
 		oracle    = flag.Bool("oracle", false, "use the oracle length predictor instead of the trained classifier")
+		replicas  = flag.Int("replicas", 1, "data-parallel TD-Pipe replicas (fleet mode when > 1)")
+		policy    = flag.String("policy", fleet.RoundRobin, "fleet dispatch policy: "+strings.Join(fleet.Names(), ", "))
 	)
 	flag.Parse()
-	if err := run(*nodeName, *modelName, *gpus, *sched, *requests, *pool, *seed, *outDir, *oracle); err != nil {
+	if err := run(*nodeName, *modelName, *gpus, *sched, *requests, *pool, *seed, *outDir, *oracle, *replicas, *policy); err != nil {
 		fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
 		os.Exit(1)
 	}
@@ -68,7 +76,62 @@ func pickModel(name string) (model.Spec, error) {
 	return model.Spec{}, fmt.Errorf("unknown model %q (13B, 32B, 70B)", name)
 }
 
-func run(nodeName, modelName string, gpus int, sched string, requests, poolSize int, seed int64, outDir string, oracle bool) error {
+// trainedPredictor fits the classifier on the corpus's 60% historical
+// split, the same recipe the single-engine path uses.
+func trainedPredictor(pool []workload.Request) (core.LenPredictor, error) {
+	train, _, _ := workload.Split(pool, 0.6, 0.2)
+	return predictor.Train(train, predictor.DefaultTrainConfig())
+}
+
+// runFleet shards the sample across data-parallel TD-Pipe replicas and
+// prints per-replica reports plus the merged fleet report.
+func runFleet(node hw.Node, spec model.Spec, gpus, replicas int, policy string, pool, reqs []workload.Request, seed int64, outDir string, oracle bool) error {
+	cfg := core.DefaultConfig(node, spec, gpus)
+	if !oracle {
+		clf, err := trainedPredictor(pool)
+		if err != nil {
+			return err
+		}
+		cfg.Predictor = clf
+	}
+	p, err := fleet.New(policy, fleet.Options{Seed: seed, Predictor: cfg.Predictor})
+	if err != nil {
+		return err
+	}
+	res, err := fleet.Run(cfg, replicas, p, reqs)
+	if err != nil {
+		return err
+	}
+	for i, rr := range res.Replicas {
+		fmt.Printf("replica %d: %d reqs, %.1fs, %.0f tok/s out, util %.1f%%\n",
+			i, rr.Report.Requests, rr.Report.Elapsed,
+			rr.Report.OutputThroughput(), 100*rr.Report.MeanUtilization)
+	}
+	fmt.Println(res.Report)
+	fmt.Printf("output throughput: %.0f tokens/s, total: %.0f tokens/s\n",
+		res.Report.OutputThroughput(), res.Report.TotalThroughput())
+
+	if outDir == "" {
+		return nil
+	}
+	// Per-GPU timelines are per-replica simulations; the fleet export
+	// covers the aggregate report.
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	j, err := os.Create(filepath.Join(outDir, "run.json"))
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	if err := trace.WriteRunJSON(j, trace.Run{Report: res.Report}); err != nil {
+		return err
+	}
+	fmt.Printf("exported aggregate report to %s\n", outDir)
+	return nil
+}
+
+func run(nodeName, modelName string, gpus int, sched string, requests, poolSize int, seed int64, outDir string, oracle bool, replicas int, policy string) error {
 	node, err := pickNode(nodeName)
 	if err != nil {
 		return err
@@ -86,6 +149,13 @@ func run(nodeName, modelName string, gpus int, sched string, requests, poolSize 
 	}
 	reqs := workload.Sample(pool, requests, seed+1000)
 
+	if replicas > 1 {
+		if s := strings.ToLower(sched); s != "tdpipe" && s != "td-pipe" {
+			return fmt.Errorf("fleet mode (-replicas %d) requires -sched tdpipe, got %q", replicas, sched)
+		}
+		return runFleet(node, spec, gpus, replicas, policy, pool, reqs, seed, outDir, oracle)
+	}
+
 	var rep metrics.Report
 	var rec *metrics.Recorder
 	var kv []metrics.KVPoint
@@ -95,8 +165,7 @@ func run(nodeName, modelName string, gpus int, sched string, requests, poolSize 
 		cfg := core.DefaultConfig(node, spec, gpus)
 		cfg.RecordKV = true
 		if !oracle {
-			train, _, _ := workload.Split(pool, 0.6, 0.2)
-			clf, err := predictor.Train(train, predictor.DefaultTrainConfig())
+			clf, err := trainedPredictor(pool)
 			if err != nil {
 				return err
 			}

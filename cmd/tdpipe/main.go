@@ -8,7 +8,9 @@
 //	tdpipe -exp fig13 -requests 3000 -seed 7
 //
 // Experiments: table1 table2 fig2 fig6 fig11 fig12 fig13 fig14 fig15
-// fig16 all.
+// fig16 fleet all. "fleet" sweeps the data-parallel serving layer
+// (replica count x dispatch policy) beyond the paper's single-engine
+// evaluation.
 package main
 
 import (
@@ -22,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table1,table2,fig2,fig6,fig11,fig12,fig13,fig14,fig15,fig16,all)")
+		exp      = flag.String("exp", "all", "experiment to run (table1,table2,fig2,fig6,fig11,fig12,fig13,fig14,fig15,fig16,fleet,all)")
 		requests = flag.Int("requests", 0, "evaluation sample size (default: quick scale)")
 		pool     = flag.Int("pool", 0, "corpus size (default: quick scale)")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -51,7 +53,7 @@ func main() {
 func run(exp string, opts experiments.Options) error {
 	names := strings.Split(exp, ",")
 	if exp == "all" {
-		names = []string{"table1", "table2", "fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "offload"}
+		names = []string{"table1", "table2", "fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "offload", "fleet"}
 	}
 
 	var env *experiments.Env
@@ -162,6 +164,16 @@ func run(exp string, opts experiments.Options) error {
 				return err
 			}
 			fmt.Println(experiments.FormatOffload(rows))
+		case "fleet":
+			e, err := getEnv()
+			if err != nil {
+				return err
+			}
+			cells, err := experiments.Fleet(e)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatFleet(cells))
 		case "sweep":
 			e, err := getEnv()
 			if err != nil {

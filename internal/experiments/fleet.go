@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// FleetCell is one fleet-size x dispatch-policy measurement.
+type FleetCell struct {
+	Policy   string
+	Replicas int
+	Report   metrics.Report
+	// MinShard/MaxShard are the smallest and largest shard sizes, a
+	// direct view of dispatch balance.
+	MinShard, MaxShard int
+}
+
+// Fleet sweeps the data-parallel serving layer on the 4xA100 + 70B
+// deployment: every registered dispatch policy at 1, 2 and 4 replicas
+// over the shared evaluation sample. This is the scenario axis
+// (replica count x policy x workload) later scaling work builds on.
+func Fleet(e *Env) ([]FleetCell, error) {
+	var out []FleetCell
+	var base *FleetCell
+	for _, replicas := range []int{1, 2, 4} {
+		for _, name := range fleet.Names() {
+			// With one replica every policy produces the same single
+			// shard and the engine is deterministic, so simulate the
+			// baseline once and reuse it across policies.
+			if replicas == 1 && base != nil {
+				cell := *base
+				cell.Policy = name
+				out = append(out, cell)
+				continue
+			}
+			cfg := core.DefaultConfig(hw.A100, model.Llama2_70B, 4)
+			cfg.Predictor = e.Classifier
+			p, err := fleet.New(name, fleet.Options{Seed: e.Opts.Seed, Predictor: e.Classifier})
+			if err != nil {
+				return nil, err
+			}
+			res, err := fleet.Run(cfg, replicas, p, e.Requests)
+			if err != nil {
+				return nil, err
+			}
+			cell := FleetCell{Policy: name, Replicas: replicas, Report: res.Report, MinShard: -1}
+			for _, sh := range res.Shards {
+				if cell.MinShard < 0 || len(sh.Reqs) < cell.MinShard {
+					cell.MinShard = len(sh.Reqs)
+				}
+				if len(sh.Reqs) > cell.MaxShard {
+					cell.MaxShard = len(sh.Reqs)
+				}
+			}
+			if replicas == 1 {
+				base = &cell
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// FormatFleet renders the fleet sweep with per-cell throughput,
+// utilization and the speedup over the single-replica run of the same
+// policy.
+func FormatFleet(cells []FleetCell) string {
+	base := map[string]float64{}
+	for _, c := range cells {
+		if c.Replicas == 1 {
+			base[c.Policy] = c.Report.OutputThroughput()
+		}
+	}
+	header := []string{"policy", "replicas", "gpus", "out tok/s", "speedup", "util %", "shard min/max"}
+	var rows [][]string
+	for _, c := range cells {
+		speedup := "-"
+		if b := base[c.Policy]; b > 0 {
+			speedup = fmt.Sprintf("%.2fx", c.Report.OutputThroughput()/b)
+		}
+		rows = append(rows, []string{
+			c.Policy,
+			fmt.Sprintf("%d", c.Replicas),
+			fmt.Sprintf("%d", c.Report.GPUs),
+			fmt.Sprintf("%.0f", c.Report.OutputThroughput()),
+			speedup,
+			fmt.Sprintf("%.1f", 100*c.Report.MeanUtilization),
+			fmt.Sprintf("%d/%d", c.MinShard, c.MaxShard),
+		})
+	}
+	return renderTable("Fleet: data-parallel TD-Pipe replicas (4xA100 + 70B each)", header, rows)
+}

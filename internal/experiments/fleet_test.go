@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fleet sweep runs on a reduced env: scheduler contrast is not the
+// point here, coverage of the replica x policy grid is.
+func TestFleetSweep(t *testing.T) {
+	env, err := NewEnv(Options{PoolSize: 2000, Requests: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Fleet(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("got %d cells, want 12 (3 sizes x 4 policies)", len(cells))
+	}
+	for _, c := range cells {
+		if c.Report.Requests != env.Opts.Requests {
+			t.Errorf("%s x%d completed %d requests", c.Policy, c.Replicas, c.Report.Requests)
+		}
+		if c.Report.GPUs != 4*c.Replicas {
+			t.Errorf("%s x%d reports %d GPUs", c.Policy, c.Replicas, c.Report.GPUs)
+		}
+		if c.MinShard < 0 || c.MaxShard < c.MinShard {
+			t.Errorf("%s x%d shard bounds %d/%d", c.Policy, c.Replicas, c.MinShard, c.MaxShard)
+		}
+	}
+	text := FormatFleet(cells)
+	for _, want := range []string{"Fleet", "round-robin", "predicted-cost", "speedup"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted sweep missing %q", want)
+		}
+	}
+}

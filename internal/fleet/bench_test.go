@@ -1,0 +1,51 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkDispatch measures pure dispatch cost per policy over a
+// 5,000-request trace and 8 replicas.
+func BenchmarkDispatch(b *testing.B) {
+	reqs := workload.MustGenerate(workload.DefaultConfig(5000, 1))
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := New(name, Options{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Dispatch(p, 8, reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRun measures a full fleet run (dispatch + N concurrent
+// engine replicas + merge) on the fast test deployment, scaling the
+// replica count.
+func BenchmarkRun(b *testing.B) {
+	reqs := smallTrace(600, 1)
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := New(PredictedCost, Options{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := Run(fastConfig(2), replicas, p, reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Report.OutputThroughput(), "tok/s")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,171 @@
+// Package fleet is the data-parallel serving layer: it shards a request
+// trace across N concurrently-running TD-Pipe engine replicas and
+// merges their per-replica reports into one fleet-level report. Each
+// replica is a full core engine on its own virtual-time substrate, so
+// replicas simulate independently and the fleet runs them on real
+// goroutines; the merge is deterministic because replicas are combined
+// in index order regardless of completion order.
+//
+// Dispatch is pluggable: a Policy picks a replica per request
+// (round-robin, seeded random, least known work, or predicted-cost
+// using the paper's output-length classifier), and policies are
+// registered by name so binaries can select them via a flag.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Shard is the portion of a trace dispatched to one replica.
+type Shard struct {
+	// Reqs are the replica's requests, renumbered to the dense IDs the
+	// core engine requires.
+	Reqs []workload.Request
+	// Origin[i] is the index in the dispatched trace of Reqs[i].
+	Origin []int
+}
+
+// Dispatch shards reqs across replicas under policy p. Every request is
+// assigned to exactly one shard; within a shard, requests keep their
+// trace order and are renumbered 0..len-1.
+func Dispatch(p Policy, replicas int, reqs []workload.Request) ([]Shard, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("fleet: replicas = %d", replicas)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("fleet: nil policy")
+	}
+	loads := make([]Load, replicas)
+	shards := make([]Shard, replicas)
+	for i, r := range reqs {
+		k := p.Pick(r, loads)
+		if k < 0 || k >= replicas {
+			return nil, fmt.Errorf("fleet: policy %q picked replica %d of %d", p.Name(), k, replicas)
+		}
+		loads[k].Requests++
+		loads[k].InputTokens += r.InputLen
+		loads[k].CostTokens += p.Cost(r)
+		r.ID = len(shards[k].Reqs)
+		shards[k].Reqs = append(shards[k].Reqs, r)
+		shards[k].Origin = append(shards[k].Origin, i)
+	}
+	return shards, nil
+}
+
+// Result is the outcome of a fleet run.
+type Result struct {
+	// Report is the fleet-level aggregate: token counts summed,
+	// Elapsed the slowest replica (replicas run concurrently), and
+	// utilization averaged over all GPU-seconds of the fleet makespan.
+	Report metrics.Report
+	// Replicas holds per-replica engine results in replica order.
+	Replicas []*core.Result
+	// Shards records the dispatch; Shards[i].Origin maps replica i's
+	// requests back to indices in the dispatched trace.
+	Shards []Shard
+	// Policy is the dispatch policy name.
+	Policy string
+}
+
+// Run executes reqs across replicas data-parallel copies of cfg under
+// policy p. Each replica runs core.Run on its own goroutine and its own
+// simulation; the aggregate is deterministic for a fixed trace, config
+// and policy seed.
+func Run(cfg core.Config, replicas int, p Policy, reqs []workload.Request) (*Result, error) {
+	shards, err := Dispatch(p, replicas, reqs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.Result, replicas)
+	errs := make([]error, replicas)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = core.Run(cfg, shards[i].Reqs)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+	}
+	res := &Result{
+		Report:   mergeReports(cfg, p.Name(), results),
+		Replicas: results,
+		Shards:   shards,
+		Policy:   p.Name(),
+	}
+	if err := res.CheckConservation(len(reqs)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// mergeReports folds per-replica reports into the fleet aggregate.
+func mergeReports(cfg core.Config, policy string, results []*core.Result) metrics.Report {
+	rep := metrics.Report{
+		Scheduler: fmt.Sprintf("Fleet(TD-Pipe/%s)x%d", policy, len(results)),
+		Node:      cfg.Node.Name,
+		Model:     cfg.Spec.Name,
+		GPUs:      cfg.World * len(results),
+	}
+	var busy float64
+	for _, r := range results {
+		rr := r.Report
+		rep.Requests += rr.Requests
+		rep.InputTokens += rr.InputTokens
+		rep.OutputTokens += rr.OutputTokens
+		rep.PhaseSwitches += rr.PhaseSwitches
+		rep.Recomputes += rr.Recomputes
+		if rr.Elapsed > rep.Elapsed {
+			rep.Elapsed = rr.Elapsed
+		}
+		if rr.KVPeakUsage > rep.KVPeakUsage {
+			rep.KVPeakUsage = rr.KVPeakUsage
+		}
+		busy += rr.MeanUtilization * rr.Elapsed * float64(rr.GPUs)
+	}
+	if rep.Elapsed > 0 && rep.GPUs > 0 {
+		rep.MeanUtilization = busy / (rep.Elapsed * float64(rep.GPUs))
+	}
+	rep.BubbleRatio = 1 - rep.MeanUtilization
+	return rep
+}
+
+// CheckConservation verifies that each of n dispatched requests was
+// assigned to exactly one replica and completed there: shard origins
+// partition 0..n-1 and every replica reports exactly its shard size.
+func (r *Result) CheckConservation(n int) error {
+	if len(r.Shards) != len(r.Replicas) {
+		return fmt.Errorf("fleet: %d shards but %d replica results", len(r.Shards), len(r.Replicas))
+	}
+	seen := make([]int, n)
+	for i, sh := range r.Shards {
+		if len(sh.Reqs) != len(sh.Origin) {
+			return fmt.Errorf("fleet: replica %d has %d requests but %d origins", i, len(sh.Reqs), len(sh.Origin))
+		}
+		if got := r.Replicas[i].Report.Requests; got != len(sh.Reqs) {
+			return fmt.Errorf("fleet: replica %d completed %d of %d requests", i, got, len(sh.Reqs))
+		}
+		for _, o := range sh.Origin {
+			if o < 0 || o >= n {
+				return fmt.Errorf("fleet: replica %d has origin %d outside trace of %d", i, o, n)
+			}
+			seen[o]++
+		}
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("fleet: request %d dispatched %d times", idx, c)
+		}
+	}
+	return nil
+}

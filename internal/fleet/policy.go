@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Load is the dispatcher's view of the work already assigned to one
+// replica.
+type Load struct {
+	// Requests is the number of requests assigned so far.
+	Requests int
+	// InputTokens is the known prefill work assigned so far.
+	InputTokens int
+	// CostTokens accumulates the dispatching policy's own Cost
+	// estimates for the assigned requests.
+	CostTokens float64
+}
+
+// Policy decides which replica receives each request of a trace.
+// Implementations may keep internal state (round-robin counters, seeded
+// RNGs), so use a fresh instance per dispatch for reproducibility.
+// Policies must not read Request.OutputLen — like the engine, they only
+// see observable features and the predictor's estimate.
+type Policy interface {
+	// Name returns the registry name of the policy.
+	Name() string
+	// Pick returns the index in loads of the replica that receives r.
+	Pick(r workload.Request, loads []Load) int
+	// Cost estimates the work r adds to its replica; the dispatcher
+	// accumulates it into Load.CostTokens before the next Pick.
+	Cost(r workload.Request) float64
+}
+
+// Options parameterize policy construction.
+type Options struct {
+	// Seed drives stochastic policies (random).
+	Seed int64
+	// Predictor supplies output-length estimates for predicted-cost;
+	// nil falls back to the oracle.
+	Predictor core.LenPredictor
+}
+
+// Factory builds a fresh policy instance from options.
+type Factory func(Options) Policy
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register makes a policy constructable by name. It panics on a
+// duplicate name so wiring mistakes fail at init time.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("fleet: duplicate policy %q", name))
+	}
+	registry[name] = f
+}
+
+// New builds a registered policy by name.
+func New(name string, opts Options) (Policy, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown policy %q (have %v)", name, Names())
+	}
+	return f(opts), nil
+}
+
+// Names lists the registered policies, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Built-in policy names.
+const (
+	// RoundRobin cycles through replicas in order.
+	RoundRobin = "round-robin"
+	// Random picks a seeded uniform replica per request.
+	Random = "random"
+	// LeastWork assigns to the replica with the least known prefill
+	// work (input tokens) so far.
+	LeastWork = "least-work"
+	// PredictedCost assigns to the replica with the least estimated
+	// total work, input plus the predictor's output-length estimate —
+	// the paper's key signal, applied to dispatch.
+	PredictedCost = "predicted-cost"
+)
+
+func init() {
+	Register(RoundRobin, func(Options) Policy { return &roundRobin{} })
+	Register(Random, func(o Options) Policy {
+		return &random{rng: rand.New(rand.NewSource(o.Seed))}
+	})
+	Register(LeastWork, func(Options) Policy { return leastWork{} })
+	Register(PredictedCost, func(o Options) Policy {
+		p := o.Predictor
+		if p == nil {
+			p = core.OraclePredictor{}
+		}
+		return &predictedCost{pred: p}
+	})
+}
+
+type roundRobin struct{ next int }
+
+func (*roundRobin) Name() string { return RoundRobin }
+
+func (p *roundRobin) Pick(_ workload.Request, loads []Load) int {
+	i := p.next % len(loads)
+	p.next = i + 1
+	return i
+}
+
+func (*roundRobin) Cost(r workload.Request) float64 { return float64(r.InputLen) }
+
+type random struct{ rng *rand.Rand }
+
+func (*random) Name() string { return Random }
+
+func (p *random) Pick(_ workload.Request, loads []Load) int {
+	return p.rng.Intn(len(loads))
+}
+
+func (*random) Cost(r workload.Request) float64 { return float64(r.InputLen) }
+
+// argminCost returns the replica with the least accumulated cost,
+// breaking ties toward fewer requests, then the lower index.
+func argminCost(loads []Load) int {
+	best := 0
+	for i := 1; i < len(loads); i++ {
+		if loads[i].CostTokens < loads[best].CostTokens ||
+			(loads[i].CostTokens == loads[best].CostTokens && loads[i].Requests < loads[best].Requests) {
+			best = i
+		}
+	}
+	return best
+}
+
+type leastWork struct{}
+
+func (leastWork) Name() string { return LeastWork }
+
+func (leastWork) Pick(_ workload.Request, loads []Load) int { return argminCost(loads) }
+
+func (leastWork) Cost(r workload.Request) float64 { return float64(r.InputLen) }
+
+type predictedCost struct{ pred core.LenPredictor }
+
+func (*predictedCost) Name() string { return PredictedCost }
+
+func (*predictedCost) Pick(_ workload.Request, loads []Load) int { return argminCost(loads) }
+
+func (p *predictedCost) Cost(r workload.Request) float64 {
+	return float64(r.InputLen + p.pred.PredictLen(r))
+}

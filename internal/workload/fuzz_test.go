@@ -1,0 +1,107 @@
+package workload
+
+import "testing"
+
+// FuzzGenerateSplitInvariants checks trace-generation and splitting
+// invariants over arbitrary seeds, sizes and split fractions: lengths
+// stay inside the configured bounds, IDs are dense, generation is
+// deterministic, and Split partitions the trace without duplicating or
+// dropping a request.
+func FuzzGenerateSplitInvariants(f *testing.F) {
+	f.Add(int64(1), uint16(200), uint8(60), uint8(20))
+	f.Add(int64(-7), uint16(1), uint8(0), uint8(0))
+	f.Add(int64(42), uint16(999), uint8(100), uint8(100))
+	f.Add(int64(0), uint16(17), uint8(33), uint8(77))
+	f.Fuzz(func(t *testing.T, seed int64, size uint16, trainPct, valPct uint8) {
+		n := int(size)%1000 + 1
+		cfg := DefaultConfig(n, seed)
+		reqs, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(%+v): %v", cfg, err)
+		}
+		if len(reqs) != n {
+			t.Fatalf("generated %d of %d requests", len(reqs), n)
+		}
+		for i, r := range reqs {
+			if r.ID != i {
+				t.Fatalf("request %d has ID %d", i, r.ID)
+			}
+			if r.InputLen < 4 || r.InputLen > cfg.MaxInputLen {
+				t.Fatalf("request %d input length %d outside [4, %d]", i, r.InputLen, cfg.MaxInputLen)
+			}
+			if r.OutputLen < 1 || r.OutputLen > cfg.MaxOutputLen {
+				t.Fatalf("request %d output length %d outside [1, %d]", i, r.OutputLen, cfg.MaxOutputLen)
+			}
+			if r.Topic < 0 || r.Topic >= cfg.Topics {
+				t.Fatalf("request %d topic %d outside [0, %d)", i, r.Topic, cfg.Topics)
+			}
+			if len(r.Features) != cfg.FeatureDim+1 {
+				t.Fatalf("request %d has %d features, want %d", i, len(r.Features), cfg.FeatureDim+1)
+			}
+			if r.TotalLen() != r.InputLen+r.OutputLen {
+				t.Fatalf("request %d TotalLen %d != %d+%d", i, r.TotalLen(), r.InputLen, r.OutputLen)
+			}
+		}
+
+		again, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("regenerate: %v", err)
+		}
+		for i := range reqs {
+			if reqs[i].InputLen != again[i].InputLen || reqs[i].OutputLen != again[i].OutputLen ||
+				reqs[i].Topic != again[i].Topic {
+				t.Fatalf("generation not deterministic at request %d", i)
+			}
+		}
+
+		// Split fractions in [0,1] with trainFrac+valFrac <= 1.
+		trainFrac := float64(trainPct%101) / 100
+		valFrac := float64(valPct%101) / 100
+		if trainFrac+valFrac > 1 {
+			valFrac = 1 - trainFrac
+		}
+		train, val, test := Split(reqs, trainFrac, valFrac)
+		if len(train)+len(val)+len(test) != n {
+			t.Fatalf("split %d+%d+%d != %d", len(train), len(val), len(test), n)
+		}
+		// The three parts concatenated must be the original trace in
+		// order: no request duplicated, dropped or reordered.
+		k := 0
+		for _, part := range [][]Request{train, val, test} {
+			for _, r := range part {
+				if r.ID != k {
+					t.Fatalf("split request at position %d has ID %d", k, r.ID)
+				}
+				k++
+			}
+		}
+
+		// Sample must clamp k, renumber densely, and draw without
+		// replacement (strictly increasing source order).
+		k2 := n/2 + 1
+		sampled := Sample(reqs, k2+n, seed)
+		if len(sampled) != n {
+			t.Fatalf("oversized sample returned %d of %d", len(sampled), n)
+		}
+		sampled = Sample(reqs, k2, seed)
+		if len(sampled) != k2 {
+			t.Fatalf("sample returned %d of %d", len(sampled), k2)
+		}
+		// Each sampled request must come from a strictly later source
+		// position than the previous one (Sample sorts its draw), which
+		// rules out duplication; feature-slice identity pins the source.
+		j := 0
+		for i, r := range sampled {
+			if r.ID != i {
+				t.Fatalf("sampled request %d has ID %d", i, r.ID)
+			}
+			for j < n && &reqs[j].Features[0] != &r.Features[0] {
+				j++
+			}
+			if j == n {
+				t.Fatalf("sampled request %d not found after previous draw", i)
+			}
+			j++
+		}
+	})
+}

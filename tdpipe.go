@@ -20,6 +20,7 @@ package tdpipe
 import (
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -81,6 +82,48 @@ func NewConfig(node Node, spec ModelSpec, world int) Config {
 // Run executes the trace under TD-Pipe in virtual time.
 func Run(cfg Config, reqs []Request) (*Result, error) {
 	return core.Run(cfg, reqs)
+}
+
+// Fleet aliases: the data-parallel multi-replica serving layer.
+type (
+	// FleetResult is the merged outcome of a multi-replica run.
+	FleetResult = fleet.Result
+	// FleetPolicy dispatches requests across replicas.
+	FleetPolicy = fleet.Policy
+	// FleetOptions parameterize policy construction (seed, predictor).
+	FleetOptions = fleet.Options
+)
+
+// Built-in fleet dispatch policies.
+const (
+	FleetRoundRobin    = fleet.RoundRobin
+	FleetRandom        = fleet.Random
+	FleetLeastWork     = fleet.LeastWork
+	FleetPredictedCost = fleet.PredictedCost
+)
+
+// FleetPolicies lists the registered dispatch policies.
+func FleetPolicies() []string { return fleet.Names() }
+
+// NewFleetPolicy builds a registered dispatch policy by name.
+func NewFleetPolicy(name string, opts FleetOptions) (FleetPolicy, error) {
+	return fleet.New(name, opts)
+}
+
+// RunFleet shards the trace across replicas data-parallel TD-Pipe
+// engines (each a full copy of cfg on its own virtual-time substrate,
+// run concurrently) under the named dispatch policy, and merges the
+// per-replica reports into one fleet report. The policy inherits
+// cfg.Predictor (predicted-cost dispatch uses the same classifier as
+// the greedy prefill) and a fixed seed, so results are deterministic
+// for a given trace and config; use fleet.Run directly for custom
+// policy instances or seeds.
+func RunFleet(cfg Config, replicas int, policy string, reqs []Request) (*FleetResult, error) {
+	p, err := fleet.New(policy, fleet.Options{Seed: 1, Predictor: cfg.Predictor})
+	if err != nil {
+		return nil, err
+	}
+	return fleet.Run(cfg, replicas, p, reqs)
 }
 
 // NewBaselineConfig returns a vLLM-like configuration for one of the

@@ -31,6 +31,59 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// RunFleet with 4 replicas must complete a 5k-request trace under each
+// registered policy with exact request conservation, and reproduce the
+// same aggregate report when rerun with the same seed.
+func TestRunFleet(t *testing.T) {
+	trace, err := NewTrace(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := TrainPredictor(trace.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(A100, Llama2_70B, 4)
+	cfg.Predictor = clf
+	reqs := trace.Sample(5000, 2)
+	wantOut := 0
+	for _, r := range reqs {
+		wantOut += r.OutputLen
+	}
+
+	policies := FleetPolicies()
+	if len(policies) < 4 {
+		t.Fatalf("only %d fleet policies registered: %v", len(policies), policies)
+	}
+	for _, policy := range policies {
+		res, err := RunFleet(cfg, 4, policy, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConservation(len(reqs)); err != nil {
+			t.Errorf("%s: %v", policy, err)
+		}
+		if res.Report.Requests != 5000 || res.Report.OutputTokens != wantOut {
+			t.Errorf("%s: completed %d requests, %d output tokens (want 5000, %d)",
+				policy, res.Report.Requests, res.Report.OutputTokens, wantOut)
+		}
+		if res.Report.GPUs != 16 {
+			t.Errorf("%s: fleet GPUs = %d, want 16", policy, res.Report.GPUs)
+		}
+		again, err := RunFleet(cfg, 4, policy, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report != again.Report {
+			t.Errorf("%s: aggregate report not deterministic:\n%v\n%v", policy, res.Report, again.Report)
+		}
+	}
+
+	if _, err := RunFleet(cfg, 4, "no-such-policy", reqs); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
 func TestFacadeCatalog(t *testing.T) {
 	if L20.GPU.MemGB != 48 || A100.GPU.MemGB != 80 {
 		t.Error("node catalog wrong")
