@@ -6,12 +6,21 @@
 //	tdpipe-sim -node A100 -model 70B -gpus 4 -sched tdpipe -requests 2000
 //	tdpipe-sim -sched pp+hb -node L20 -model 32B -out run/   # CSV + JSON
 //	tdpipe-sim -replicas 4 -policy predicted-cost            # fleet mode
+//	tdpipe-sim -arrivals poisson -rate 3 -slo 120            # open-loop
 //
 // Schedulers: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload. With
 // -replicas N > 1 the trace is sharded across N data-parallel TD-Pipe
 // replicas under the -policy dispatch policy (round-robin, random,
 // least-work, predicted-cost); fleet mode requires -sched tdpipe and
 // exports only the aggregate run.json with -out.
+//
+// Open-loop serving: -arrivals picks the arrival process (instant,
+// poisson, bursty, diurnal) and -rate its mean requests/s. Engines
+// admit requests only once virtual time reaches their arrival, and the
+// report gains TTFT/TPOT/E2E percentiles plus goodput under the SLO
+// set by -slo (E2E seconds), -slo-ttft and -slo-tpot. In fleet mode an
+// arrival-stamped trace is served by the online router: one shared
+// virtual clock, per-arrival dispatch on live load snapshots.
 package main
 
 import (
@@ -33,22 +42,45 @@ import (
 	"repro/internal/workload"
 )
 
+// options collects the flag values for one invocation.
+type options struct {
+	node     string
+	model    string
+	gpus     int
+	sched    string
+	requests int
+	pool     int
+	seed     int64
+	outDir   string
+	oracle   bool
+	replicas int
+	policy   string
+	arrivals string
+	rate     float64
+	slo      metrics.SLO
+}
+
 func main() {
-	var (
-		nodeName  = flag.String("node", "A100", "node: L20 or A100")
-		modelName = flag.String("model", "70B", "model: 13B, 32B, 70B")
-		gpus      = flag.Int("gpus", 4, "number of GPUs")
-		sched     = flag.String("sched", "tdpipe", "scheduler: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload")
-		requests  = flag.Int("requests", 2000, "number of requests")
-		pool      = flag.Int("pool", 20000, "corpus size for predictor training")
-		seed      = flag.Int64("seed", 1, "trace seed")
-		outDir    = flag.String("out", "", "directory for CSV/JSON export (optional)")
-		oracle    = flag.Bool("oracle", false, "use the oracle length predictor instead of the trained classifier")
-		replicas  = flag.Int("replicas", 1, "data-parallel TD-Pipe replicas (fleet mode when > 1)")
-		policy    = flag.String("policy", fleet.RoundRobin, "fleet dispatch policy: "+strings.Join(fleet.Names(), ", "))
-	)
+	var o options
+	flag.StringVar(&o.node, "node", "A100", "node: L20 or A100")
+	flag.StringVar(&o.model, "model", "70B", "model: 13B, 32B, 70B")
+	flag.IntVar(&o.gpus, "gpus", 4, "number of GPUs")
+	flag.StringVar(&o.sched, "sched", "tdpipe", "scheduler: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload")
+	flag.IntVar(&o.requests, "requests", 2000, "number of requests")
+	flag.IntVar(&o.pool, "pool", 20000, "corpus size for predictor training")
+	flag.Int64Var(&o.seed, "seed", 1, "trace seed")
+	flag.StringVar(&o.outDir, "out", "", "directory for CSV/JSON export (optional)")
+	flag.BoolVar(&o.oracle, "oracle", false, "use the oracle length predictor instead of the trained classifier")
+	flag.IntVar(&o.replicas, "replicas", 1, "data-parallel TD-Pipe replicas (fleet mode when > 1)")
+	flag.StringVar(&o.policy, "policy", fleet.RoundRobin, "fleet dispatch policy: "+strings.Join(fleet.Names(), ", "))
+	flag.StringVar(&o.arrivals, "arrivals", workload.ArrivalInstant,
+		"arrival process: "+strings.Join(workload.ArrivalKinds(), ", "))
+	flag.Float64Var(&o.rate, "rate", 0, "mean arrival rate in requests/s (required unless -arrivals instant)")
+	flag.Float64Var(&o.slo.E2E, "slo", 0, "end-to-end latency SLO in seconds (0 disables)")
+	flag.Float64Var(&o.slo.TTFT, "slo-ttft", 0, "time-to-first-token SLO in seconds (0 disables)")
+	flag.Float64Var(&o.slo.TPOT, "slo-tpot", 0, "time-per-output-token SLO in seconds (0 disables)")
 	flag.Parse()
-	if err := run(*nodeName, *modelName, *gpus, *sched, *requests, *pool, *seed, *outDir, *oracle, *replicas, *policy); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
 		os.Exit(1)
 	}
@@ -83,22 +115,37 @@ func trainedPredictor(pool []workload.Request) (core.LenPredictor, error) {
 	return predictor.Train(train, predictor.DefaultTrainConfig())
 }
 
-// runFleet shards the sample across data-parallel TD-Pipe replicas and
-// prints per-replica reports plus the merged fleet report.
-func runFleet(node hw.Node, spec model.Spec, gpus, replicas int, policy string, pool, reqs []workload.Request, seed int64, outDir string, oracle bool) error {
-	cfg := core.DefaultConfig(node, spec, gpus)
-	if !oracle {
+// printLatency shows the per-request latency digest when it carries
+// information (always under open-loop arrivals or an SLO).
+func printLatency(rep metrics.Report, open bool) {
+	if open || rep.Latency.SLO.Enabled() {
+		fmt.Println("latency:", rep.Latency)
+	}
+}
+
+// runFleet serves the sample on data-parallel TD-Pipe replicas: an
+// offline pre-shard for closed-loop traces, the shared-clock online
+// router for arrival-stamped ones.
+func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Request, open bool) error {
+	cfg := core.DefaultConfig(node, spec, o.gpus)
+	cfg.SLO = o.slo
+	if !o.oracle {
 		clf, err := trainedPredictor(pool)
 		if err != nil {
 			return err
 		}
 		cfg.Predictor = clf
 	}
-	p, err := fleet.New(policy, fleet.Options{Seed: seed, Predictor: cfg.Predictor})
+	p, err := fleet.New(o.policy, fleet.Options{Seed: o.seed, Predictor: cfg.Predictor})
 	if err != nil {
 		return err
 	}
-	res, err := fleet.Run(cfg, replicas, p, reqs)
+	var res *fleet.Result
+	if open {
+		res, err = fleet.RunOnline(cfg, o.replicas, p, reqs)
+	} else {
+		res, err = fleet.Run(cfg, o.replicas, p, reqs)
+	}
 	if err != nil {
 		return err
 	}
@@ -110,16 +157,17 @@ func runFleet(node hw.Node, spec model.Spec, gpus, replicas int, policy string, 
 	fmt.Println(res.Report)
 	fmt.Printf("output throughput: %.0f tokens/s, total: %.0f tokens/s\n",
 		res.Report.OutputThroughput(), res.Report.TotalThroughput())
+	printLatency(res.Report, open)
 
-	if outDir == "" {
+	if o.outDir == "" {
 		return nil
 	}
 	// Per-GPU timelines are per-replica simulations; the fleet export
 	// covers the aggregate report.
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
+	if err := os.MkdirAll(o.outDir, 0o755); err != nil {
 		return err
 	}
-	j, err := os.Create(filepath.Join(outDir, "run.json"))
+	j, err := os.Create(filepath.Join(o.outDir, "run.json"))
 	if err != nil {
 		return err
 	}
@@ -127,44 +175,56 @@ func runFleet(node hw.Node, spec model.Spec, gpus, replicas int, policy string, 
 	if err := trace.WriteRunJSON(j, trace.Run{Report: res.Report}); err != nil {
 		return err
 	}
-	fmt.Printf("exported aggregate report to %s\n", outDir)
+	fmt.Printf("exported aggregate report to %s\n", o.outDir)
 	return nil
 }
 
-func run(nodeName, modelName string, gpus int, sched string, requests, poolSize int, seed int64, outDir string, oracle bool, replicas int, policy string) error {
-	node, err := pickNode(nodeName)
+func run(o options) error {
+	node, err := pickNode(o.node)
 	if err != nil {
 		return err
 	}
-	spec, err := pickModel(modelName)
+	spec, err := pickModel(o.model)
 	if err != nil {
 		return err
 	}
-	if requests > poolSize {
-		poolSize = requests
+	if o.requests > o.pool {
+		o.pool = o.requests
 	}
-	pool, err := workload.Generate(workload.DefaultConfig(poolSize, seed))
+	pool, err := workload.Generate(workload.DefaultConfig(o.pool, o.seed))
 	if err != nil {
 		return err
 	}
-	reqs := workload.Sample(pool, requests, seed+1000)
+	reqs := workload.Sample(pool, o.requests, o.seed+1000)
 
-	if replicas > 1 {
-		if s := strings.ToLower(sched); s != "tdpipe" && s != "td-pipe" {
-			return fmt.Errorf("fleet mode (-replicas %d) requires -sched tdpipe, got %q", replicas, sched)
+	acfg := workload.ArrivalConfig{Kind: o.arrivals, Rate: o.rate, Seed: o.seed + 2000}
+	if err := acfg.Validate(); err != nil {
+		return err
+	}
+	open := !strings.EqualFold(o.arrivals, workload.ArrivalInstant)
+	if open {
+		if reqs, err = acfg.Stamp(reqs); err != nil {
+			return err
 		}
-		return runFleet(node, spec, gpus, replicas, policy, pool, reqs, seed, outDir, oracle)
+	}
+
+	if o.replicas > 1 {
+		if s := strings.ToLower(o.sched); s != "tdpipe" && s != "td-pipe" {
+			return fmt.Errorf("fleet mode (-replicas %d) requires -sched tdpipe, got %q", o.replicas, o.sched)
+		}
+		return runFleet(o, node, spec, pool, reqs, open)
 	}
 
 	var rep metrics.Report
 	var rec *metrics.Recorder
 	var kv []metrics.KVPoint
 
-	switch strings.ToLower(sched) {
+	switch strings.ToLower(o.sched) {
 	case "tdpipe", "td-pipe":
-		cfg := core.DefaultConfig(node, spec, gpus)
+		cfg := core.DefaultConfig(node, spec, o.gpus)
 		cfg.RecordKV = true
-		if !oracle {
+		cfg.SLO = o.slo
+		if !o.oracle {
 			clf, err := trainedPredictor(pool)
 			if err != nil {
 				return err
@@ -181,7 +241,7 @@ func run(nodeName, modelName string, gpus int, sched string, requests, poolSize 
 		}
 	case "tp+sb", "tp+hb", "pp+sb", "pp+hb":
 		var m baselines.Method
-		switch strings.ToLower(sched) {
+		switch strings.ToLower(o.sched) {
 		case "tp+sb":
 			m = baselines.TPSB
 		case "tp+hb":
@@ -191,34 +251,40 @@ func run(nodeName, modelName string, gpus int, sched string, requests, poolSize 
 		default:
 			m = baselines.PPHB
 		}
-		res, err := baselines.Run(baselines.DefaultConfig(node, spec, gpus, m), reqs)
+		bcfg := baselines.DefaultConfig(node, spec, o.gpus, m)
+		bcfg.SLO = o.slo
+		res, err := baselines.Run(bcfg, reqs)
 		if err != nil {
 			return err
 		}
 		rep, rec = res.Report, res.Rec
 	case "offload":
-		res, err := offload.Run(offload.DefaultConfig(node, spec, gpus), reqs)
+		if open {
+			return fmt.Errorf("the offload scheduler is offline-only; use -arrivals instant")
+		}
+		res, err := offload.Run(offload.DefaultConfig(node, spec, o.gpus), reqs)
 		if err != nil {
 			return err
 		}
 		rep = res.Report
 	default:
-		return fmt.Errorf("unknown scheduler %q", sched)
+		return fmt.Errorf("unknown scheduler %q", o.sched)
 	}
 
 	fmt.Println(rep)
 	fmt.Printf("output throughput: %.0f tokens/s, total: %.0f tokens/s\n", rep.OutputThroughput(), rep.TotalThroughput())
+	printLatency(rep, open)
 
-	if outDir == "" {
+	if o.outDir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
+	if err := os.MkdirAll(o.outDir, 0o755); err != nil {
 		return err
 	}
 	var util []metrics.UtilPoint
 	if rec != nil {
 		util = rec.Timeline(rep.Elapsed/200, rep.Elapsed)
-		f, err := os.Create(filepath.Join(outDir, "utilization.csv"))
+		f, err := os.Create(filepath.Join(o.outDir, "utilization.csv"))
 		if err != nil {
 			return err
 		}
@@ -226,7 +292,7 @@ func run(nodeName, modelName string, gpus int, sched string, requests, poolSize 
 		if err := trace.WriteUtilizationCSV(f, util); err != nil {
 			return err
 		}
-		g, err := os.Create(filepath.Join(outDir, "busy_intervals.csv"))
+		g, err := os.Create(filepath.Join(o.outDir, "busy_intervals.csv"))
 		if err != nil {
 			return err
 		}
@@ -236,7 +302,7 @@ func run(nodeName, modelName string, gpus int, sched string, requests, poolSize 
 		}
 	}
 	if kv != nil {
-		f, err := os.Create(filepath.Join(outDir, "kv_usage.csv"))
+		f, err := os.Create(filepath.Join(o.outDir, "kv_usage.csv"))
 		if err != nil {
 			return err
 		}
@@ -245,7 +311,7 @@ func run(nodeName, modelName string, gpus int, sched string, requests, poolSize 
 			return err
 		}
 	}
-	j, err := os.Create(filepath.Join(outDir, "run.json"))
+	j, err := os.Create(filepath.Join(o.outDir, "run.json"))
 	if err != nil {
 		return err
 	}
@@ -253,6 +319,6 @@ func run(nodeName, modelName string, gpus int, sched string, requests, poolSize 
 	if err := trace.WriteRunJSON(j, trace.Run{Report: rep, Utilization: util, KV: kv}); err != nil {
 		return err
 	}
-	fmt.Printf("exported timelines to %s\n", outDir)
+	fmt.Printf("exported timelines to %s\n", o.outDir)
 	return nil
 }

@@ -20,6 +20,7 @@ package baselines
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hw"
 	"repro/internal/kvcache"
@@ -90,6 +91,10 @@ type Config struct {
 	// plane (§3.2).
 	SchedBaseOverhead   float64
 	SchedPerSeqOverhead float64
+
+	// SLO is the latency objective folded into the run's latency
+	// digest (goodput accounting). The zero value disables it.
+	SLO metrics.SLO
 }
 
 // DefaultConfig returns vLLM-like defaults.
@@ -179,13 +184,21 @@ type reqState struct {
 	prefillLen int
 	done       bool
 	evicted    bool
-	finishedAt sim.Time
+	// arrival gates admission: the scheduler never sees the request
+	// before this virtual time.
+	arrival sim.Time
+	// firstTokenAt is when the first output token was produced.
+	firstTokenAt sim.Time
+	finishedAt   sim.Time
 }
 
 // Result is the outcome of a baseline run.
 type Result struct {
 	Report metrics.Report
 	Rec    *metrics.Recorder
+	// Records holds per-request lifecycle timestamps by request ID;
+	// Report.Latency digests them.
+	Records []metrics.RequestRecord
 }
 
 // Run executes the trace under the configured baseline and returns its
@@ -207,7 +220,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 		if r.ID != i {
 			return nil, fmt.Errorf("baselines: request IDs must be dense 0..n-1")
 		}
-		states[i] = &reqState{req: r, prefillLen: r.InputLen}
+		states[i] = &reqState{req: r, prefillLen: r.InputLen, arrival: sim.Time(r.ArrivalTime)}
 	}
 	var runner interface {
 		run() (sim.Time, error)
@@ -215,9 +228,19 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 		recomputes() int
 	}
 	base := &common{cfg: cfg, kv: kv, states: states}
-	for i := range states {
-		base.waiting = append(base.waiting, i)
+	// Requests due at t=0 form the initial waiting queue (the whole
+	// trace in the offline regime); the rest are admitted only once
+	// virtual time reaches their arrival.
+	for i, st := range states {
+		if st.arrival <= 0 {
+			base.waiting = append(base.waiting, i)
+		} else {
+			base.pending = append(base.pending, i)
+		}
 	}
+	sort.SliceStable(base.pending, func(a, b int) bool {
+		return states[base.pending[a]].arrival < states[base.pending[b]].arrival
+	})
 	if cfg.Method.IsTP() {
 		runner = newTPRunner(base)
 	} else {
@@ -239,26 +262,47 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 		Requests:  len(reqs),
 		Elapsed:   float64(end),
 	}
-	for _, st := range states {
+	records := make([]metrics.RequestRecord, len(states))
+	for i, st := range states {
 		rep.InputTokens += st.req.InputLen
 		rep.OutputTokens += st.generated
+		records[i] = metrics.RequestRecord{
+			ID:           i,
+			Arrival:      float64(st.arrival),
+			FirstToken:   float64(st.firstTokenAt),
+			Finish:       float64(st.finishedAt),
+			OutputTokens: st.generated,
+		}
 	}
 	rec := runner.recorder()
 	rep.MeanUtilization = rec.MeanUtilization(0, float64(end))
 	rep.BubbleRatio = 1 - rep.MeanUtilization
 	rep.Recomputes = runner.recomputes()
 	rep.KVPeakUsage = float64(kv.PeakBlocks()) / float64(kv.CapacityBlocks())
-	return &Result{Report: rep, Rec: rec}, nil
+	rep.Latency = metrics.Digest(records, cfg.SLO)
+	return &Result{Report: rep, Rec: rec, Records: records}, nil
 }
 
 // common holds scheduler-independent state.
 type common struct {
-	cfg        Config
-	kv         *kvcache.Manager
-	states     []*reqState
-	waiting    []int
+	cfg    Config
+	kv     *kvcache.Manager
+	states []*reqState
+	// waiting holds admitted (arrived) requests awaiting prefill.
+	waiting []int
+	// pending holds not-yet-arrived requests in arrival order.
+	pending    []int
 	finished   int
 	nRecompute int
+}
+
+// admitDue moves pending requests whose arrival is at or before t into
+// the waiting queue.
+func (c *common) admitDue(t sim.Time) {
+	for len(c.pending) > 0 && c.states[c.pending[0]].arrival <= t {
+		c.waiting = append(c.waiting, c.pending[0])
+		c.pending = c.pending[1:]
+	}
 }
 
 // admitPrefill packs the next separate-batching prefill batch from the
@@ -294,6 +338,9 @@ func (c *common) completePrefill(ids []int, t sim.Time) []int {
 		}
 		st.ctx = st.prefillLen
 		st.prefilled = st.prefillLen
+		if st.generated == 0 {
+			st.firstTokenAt = t
+		}
 		st.generated++
 		if st.generated >= st.req.OutputLen {
 			c.finishReq(id, t)

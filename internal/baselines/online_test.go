@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func onlineConfig(m Method) Config {
+	cfg := DefaultConfig(hw.L20, model.Tiny, 2, m)
+	cfg.ReserveGB = 0
+	cfg.MaxPrefillTokens = 512
+	cfg.ChunkTokens = 256
+	return cfg
+}
+
+func onlineTrace(n int, seed int64) []workload.Request {
+	cfg := workload.DefaultConfig(n, seed)
+	cfg.MaxInputLen = 255
+	cfg.MaxOutputLen = 128
+	cfg.InputLogMean = 4.0
+	return workload.MustGenerate(cfg)
+}
+
+// Instant arrivals must reproduce the offline baseline run
+// bit-identically for every method.
+func TestBaselineInstantArrivalsReproduceOffline(t *testing.T) {
+	reqs := onlineTrace(150, 3)
+	for _, m := range Methods() {
+		t.Run(m.String(), func(t *testing.T) {
+			offline, err := Run(onlineConfig(m), reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stamped := workload.StampArrivals(reqs, workload.Instant{}, 42)
+			online, err := Run(onlineConfig(m), stamped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if offline.Report != online.Report {
+				t.Errorf("reports differ:\noffline: %+v\ninstant: %+v", offline.Report, online.Report)
+			}
+			for i := range offline.Records {
+				if offline.Records[i] != online.Records[i] {
+					t.Fatalf("request %d records differ: %+v vs %+v",
+						i, offline.Records[i], online.Records[i])
+				}
+			}
+		})
+	}
+}
+
+// Open-loop arrivals must complete every request on every method, with
+// causally consistent records: no request is served before it arrives.
+func TestBaselineOpenLoopAdmission(t *testing.T) {
+	base := onlineTrace(120, 7)
+	wantOut := 0
+	for _, r := range base {
+		wantOut += r.OutputLen
+	}
+	reqs := workload.StampArrivals(base, workload.Poisson{Rate: 20}, 5)
+	for _, m := range Methods() {
+		t.Run(m.String(), func(t *testing.T) {
+			res, err := Run(onlineConfig(m), reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report.Requests != len(reqs) {
+				t.Fatalf("completed %d of %d", res.Report.Requests, len(reqs))
+			}
+			if res.Report.OutputTokens != wantOut {
+				t.Errorf("output tokens = %d, want %d", res.Report.OutputTokens, wantOut)
+			}
+			if res.Report.Latency.Requests != len(reqs) {
+				t.Errorf("digest covers %d of %d", res.Report.Latency.Requests, len(reqs))
+			}
+			var lastArrival float64
+			for i, rec := range res.Records {
+				if rec.Arrival != reqs[i].ArrivalTime {
+					t.Fatalf("request %d arrival %v, stamped %v", i, rec.Arrival, reqs[i].ArrivalTime)
+				}
+				if rec.FirstToken < rec.Arrival {
+					t.Fatalf("request %d first token at %v before arrival %v",
+						i, rec.FirstToken, rec.Arrival)
+				}
+				if rec.Finish < rec.FirstToken {
+					t.Fatalf("request %d finish %v before first token %v",
+						i, rec.Finish, rec.FirstToken)
+				}
+				if rec.Arrival > lastArrival {
+					lastArrival = rec.Arrival
+				}
+			}
+			if res.Report.Elapsed < lastArrival {
+				t.Errorf("elapsed %v precedes last arrival %v", res.Report.Elapsed, lastArrival)
+			}
+		})
+	}
+}
+
+// A long gap between two requests must park the scheduler and restart
+// it on the late arrival, for both the iteration-clock (TP) and
+// event-driven (PP) runners.
+func TestBaselineIdleGap(t *testing.T) {
+	reqs := onlineTrace(2, 9)
+	reqs[1].ArrivalTime = 500
+	for _, m := range Methods() {
+		t.Run(m.String(), func(t *testing.T) {
+			res, err := Run(onlineConfig(m), reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report.Elapsed < 500 {
+				t.Fatalf("elapsed %v; late request ignored?", res.Report.Elapsed)
+			}
+			late := res.Records[1]
+			if late.FirstToken < 500 {
+				t.Errorf("late request first token at %v, before its arrival", late.FirstToken)
+			}
+			if ttft := late.TTFT(); ttft < 0 || ttft > 100 {
+				t.Errorf("late request TTFT = %v; want small, measured from arrival", ttft)
+			}
+			if early := res.Records[0]; early.Finish >= 500 {
+				t.Errorf("early request finished at %v; should complete during the gap", early.Finish)
+			}
+		})
+	}
+}

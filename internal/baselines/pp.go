@@ -38,6 +38,14 @@ type ppRunner struct {
 	outstanding int
 	roundEnd    sim.Time
 	rounds      int
+
+	// pendingArrivals counts scheduled arrival events that have not
+	// fired; while positive, an empty round parks the runner instead
+	// of declaring a stall.
+	pendingArrivals int
+	// idle is true when the runner is parked between arrivals; the
+	// next arrival event restarts the round loop.
+	idle bool
 }
 
 func newPPRunner(c *common) (*ppRunner, error) {
@@ -64,6 +72,22 @@ func (r *ppRunner) recomputes() int             { return r.nRecompute }
 
 func (r *ppRunner) run() (sim.Time, error) {
 	defer r.cluster.Shutdown()
+	// Future arrivals become simulation events: each admits its request
+	// at its arrival instant and, if the pipeline drained to idle in
+	// the meantime, restarts the round loop.
+	for _, id := range r.pending {
+		id := id
+		r.pendingArrivals++
+		r.eng.At(r.states[id].arrival, func() {
+			r.pendingArrivals--
+			r.waiting = append(r.waiting, id)
+			if r.idle {
+				r.idle = false
+				r.startRound(r.eng.Now())
+			}
+		})
+	}
+	r.pending = nil
 	r.startRound(0)
 	r.eng.Run()
 	if r.finished != len(r.states) {
@@ -111,18 +135,27 @@ func (r *ppRunner) startRound(now sim.Time) {
 		}
 	}
 	if r.outstanding == 0 {
-		// Nothing runnable anywhere. Either we are done, or (PP+HB)
-		// memory is wedged by partial prefills with no decodes.
+		// Nothing runnable anywhere. Either we are done, the pipeline
+		// is idle between arrivals, or (PP+HB) memory is wedged by
+		// partial prefills with no decodes.
 		if r.finished == len(r.states) {
 			return
 		}
+		wedged := false
 		for slot := 0; slot < r.cfg.World; slot++ {
 			if n := len(r.partial[slot]); n > 0 {
 				victim := r.partial[slot][n-1]
 				r.kv.Free(victim)
 				r.evict(victim)
 				r.partial[slot] = r.live(r.partial[slot])
+				wedged = true
 			}
+		}
+		if !wedged && len(r.waiting) == 0 && r.pendingArrivals > 0 {
+			// Drained with more traffic to come: park until the next
+			// arrival event restarts the loop.
+			r.idle = true
+			return
 		}
 		r.eng.Immediately(func() { r.startRound(r.eng.Now()) })
 	}
@@ -279,6 +312,9 @@ func (r *ppRunner) completeHybrid(slot, decodes int, t sim.Time) {
 		}
 		if st.prefilled >= st.prefillLen {
 			st.ctx = st.prefillLen
+			if st.generated == 0 {
+				st.firstTokenAt = t
+			}
 			st.generated++
 			if st.generated >= st.req.OutputLen {
 				r.finishReq(id, t)

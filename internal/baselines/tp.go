@@ -52,10 +52,20 @@ func (r *tpRunner) run() (sim.Time, error) {
 		if iter > maxIters {
 			return 0, fmt.Errorf("baselines: TP scheduler made no progress after %d iterations", iter)
 		}
+		r.admitDue(r.t)
+		tBefore, finBefore, recBefore := r.t, r.finished, r.nRecompute
 		if r.cfg.Method == TPSB {
 			r.stepSB()
 		} else {
 			r.stepHB()
+		}
+		if r.t == tBefore && r.finished == finBefore && r.nRecompute == recBefore && len(r.pending) > 0 {
+			// Nothing runnable yet the trace is not exhausted: the
+			// engine is idle between arrivals. Fast-forward the clock
+			// to the next arrival (GPUs stay idle over the gap).
+			if next := r.states[r.pending[0]].arrival; next > r.t {
+				r.t = next
+			}
 		}
 	}
 	return r.t, nil
@@ -203,6 +213,9 @@ func (r *tpRunner) advanceChunks() {
 		}
 		if st.prefilled >= st.prefillLen {
 			st.ctx = st.prefillLen
+			if st.generated == 0 {
+				st.firstTokenAt = r.t
+			}
 			st.generated++
 			if st.generated >= st.req.OutputLen {
 				r.finishReq(id, r.t)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/workload"
 )
@@ -88,6 +89,10 @@ type Config struct {
 
 	// RecordKV enables the Fig.-12 KV usage timeline.
 	RecordKV bool
+
+	// SLO is the latency objective folded into the run's latency
+	// digest (goodput accounting). The zero value disables it.
+	SLO metrics.SLO
 }
 
 // DefaultConfig returns paper-faithful settings for a node/model/world.

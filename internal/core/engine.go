@@ -26,7 +26,13 @@ type reqState struct {
 	done       bool
 	evicted    bool
 	recomputes int
-	finishedAt sim.Time
+	// arrival is when the request entered the system; the engine never
+	// schedules it before this instant.
+	arrival sim.Time
+	// firstTokenAt is when the first output token was produced
+	// (recompute evictions keep the original first-token time).
+	firstTokenAt sim.Time
+	finishedAt   sim.Time
 }
 
 func (s *reqState) remainingPredicted() int {
@@ -46,6 +52,9 @@ type Result struct {
 	KV *metrics.KVTimeline
 	// Finished lists per-request completion times by request ID.
 	Finished []sim.Time
+	// Records holds per-request lifecycle timestamps (arrival, first
+	// token, finish) by request ID; Report.Latency digests them.
+	Records []metrics.RequestRecord
 }
 
 // Engine is the TD-Pipe centralized engine bound to one simulation.
@@ -87,6 +96,16 @@ type Engine struct {
 	finished   int
 	doneAt     sim.Time
 	running    bool
+
+	// pendingArrivals counts requests whose arrival event has not fired
+	// yet; while it is positive the engine may legitimately go idle.
+	pendingArrivals int
+	// idle is true when both planes are drained and the engine is
+	// waiting for the next arrival; the arrival kicks a prefill phase.
+	idle bool
+	// shutdown guards cluster release across Run, Finalize and error
+	// paths.
+	shutdown bool
 }
 
 // NewEngine validates the configuration, sizes the KV pool and builds
@@ -125,35 +144,130 @@ func NewEngine(eng *sim.Engine, cfg Config) (*Engine, error) {
 func (e *Engine) CapacityTokens() int { return e.capacityTokens }
 
 // Run executes the full trace to completion in virtual time and returns
-// the report. It may be called once per engine.
+// the report. Requests with ArrivalTime > 0 are admitted only once the
+// virtual clock reaches their arrival; a trace of all-zero arrivals
+// reproduces the offline-batch behavior exactly. It may be called once
+// per engine.
 func (e *Engine) Run(reqs []workload.Request) (*Result, error) {
+	if err := e.Start(reqs); err != nil {
+		e.Shutdown()
+		return nil, err
+	}
+	e.eng.Run()
+	return e.Finalize()
+}
+
+// Start seeds the trace and schedules its arrivals without running the
+// simulation — the entry point for co-simulated deployments (e.g. a
+// fleet sharing one virtual clock). Requests already due at the current
+// virtual time are admitted immediately; later ones are scheduled as
+// arrival events. Drive the shared sim.Engine to completion, then call
+// Finalize.
+func (e *Engine) Start(reqs []workload.Request) error {
 	if e.running {
-		return nil, fmt.Errorf("core: engine already used")
+		return fmt.Errorf("core: engine already used")
 	}
 	e.running = true
-	defer e.cluster.Shutdown()
 
-	e.states = make([]*reqState, len(reqs))
+	e.states = make([]*reqState, 0, len(reqs))
 	e.waiting = e.waiting[:0]
 	for i, r := range reqs {
 		if r.ID != i {
-			return nil, fmt.Errorf("core: request IDs must be dense 0..n-1 (got %d at %d)", r.ID, i)
+			return fmt.Errorf("core: request IDs must be dense 0..n-1 (got %d at %d)", r.ID, i)
 		}
-		e.states[i] = &reqState{
-			req:        r,
-			predicted:  e.cfg.Predictor.PredictLen(r),
-			prefillLen: r.InputLen,
-		}
-		e.waiting = append(e.waiting, i)
+		e.addRequest(r)
 	}
-	if len(reqs) == 0 {
-		return e.buildResult(), nil
+	if len(e.waiting) > 0 {
+		e.startPrefillPhase()
+	} else {
+		e.idle = true
 	}
-	e.startPrefillPhase()
-	e.eng.Run()
-	if e.finished != len(reqs) {
+	return nil
+}
+
+// StartOnline prepares an empty engine to accept Submit calls on its
+// (possibly shared) simulation. The engine sits idle until the first
+// submission.
+func (e *Engine) StartOnline() error {
+	if e.running {
+		return fmt.Errorf("core: engine already used")
+	}
+	e.running = true
+	e.idle = true
+	return nil
+}
+
+// Submit hands the engine one request at the current virtual time,
+// renumbering it to the engine's dense ID space, and returns that local
+// ID. It is the online-router entry point: call between StartOnline and
+// Finalize, from inside the shared simulation's event context. A future
+// ArrivalTime is honored rather than admitted early.
+func (e *Engine) Submit(r workload.Request) int {
+	id := len(e.states)
+	r.ID = id
+	e.addRequest(r)
+	return id
+}
+
+func (e *Engine) newState(r workload.Request) *reqState {
+	return &reqState{
+		req:        r,
+		predicted:  e.cfg.Predictor.PredictLen(r),
+		prefillLen: r.InputLen,
+		arrival:    sim.Time(r.ArrivalTime),
+	}
+}
+
+// addRequest registers one request: due requests are admitted right
+// away (a bare queue append while Start seeds with idle unset), future
+// ones become arrival events.
+func (e *Engine) addRequest(r workload.Request) {
+	id := len(e.states)
+	e.states = append(e.states, e.newState(r))
+	if at := sim.Time(r.ArrivalTime); at > e.eng.Now() {
+		e.pendingArrivals++
+		e.eng.At(at, func() {
+			e.pendingArrivals--
+			e.admit(id)
+		})
+		return
+	}
+	e.admit(id)
+}
+
+// admit moves an arrived request into the waiting queue and, if the
+// engine drained to idle, restarts the phase machine.
+func (e *Engine) admit(id int) {
+	e.waiting = append(e.waiting, id)
+	if e.idle {
+		e.idle = false
+		e.startPrefillPhase()
+	}
+}
+
+// RequestFinished reports whether local request id has completed —
+// the live load signal online dispatch policies snapshot.
+func (e *Engine) RequestFinished(id int) bool { return e.states[id].done }
+
+// NumFinished returns the number of completed requests so far.
+func (e *Engine) NumFinished() int { return e.finished }
+
+// Shutdown releases the worker cluster. Finalize calls it; use directly
+// only on error paths that abandon the engine.
+func (e *Engine) Shutdown() {
+	if !e.shutdown {
+		e.shutdown = true
+		e.cluster.Shutdown()
+	}
+}
+
+// Finalize checks completion, releases the cluster and builds the
+// result. Call after the simulation has run to completion.
+func (e *Engine) Finalize() (*Result, error) {
+	e.Shutdown()
+	if e.finished != len(e.states) {
 		return nil, fmt.Errorf("core: run stalled with %d/%d finished at t=%v (waiting=%d, pool=%d, active=%d)",
-			e.finished, len(reqs), e.eng.Now(), len(e.waiting), len(e.decodePool), e.activeBatches)
+			e.finished, len(e.states), e.eng.Now(), len(e.waiting), len(e.decodePool), e.activeBatches)
 	}
 	return e.buildResult(), nil
 }
@@ -243,6 +357,9 @@ func (e *Engine) onPrefillDone(ids []int, res runtime.PassResult) {
 			continue
 		}
 		st.ctx = st.prefillLen
+		if st.generated == 0 {
+			st.firstTokenAt = res.End
+		}
 		st.generated++ // prefill emits the first output token
 		if st.generated >= st.req.OutputLen {
 			e.finishReq(id, res.End)
@@ -275,7 +392,11 @@ func (e *Engine) afterPrefillDrained() {
 				len(e.waiting), e.kv.FreeBlocks()*e.kv.BlockSize()))
 		}
 	default:
+		// Drained. Note the completion time and go idle: a later
+		// arrival (scheduled event or online Submit) restarts the
+		// phase machine and extends doneAt.
 		e.finish(e.eng.Now())
+		e.idle = true
 	}
 }
 
@@ -553,10 +674,18 @@ func (e *Engine) buildResult() *Result {
 		Elapsed:   float64(e.doneAt),
 	}
 	finished := make([]sim.Time, len(e.states))
+	records := make([]metrics.RequestRecord, len(e.states))
 	for i, st := range e.states {
 		rep.InputTokens += st.req.InputLen
 		rep.OutputTokens += st.generated
 		finished[i] = st.finishedAt
+		records[i] = metrics.RequestRecord{
+			ID:           i,
+			Arrival:      float64(st.arrival),
+			FirstToken:   float64(st.firstTokenAt),
+			Finish:       float64(st.finishedAt),
+			OutputTokens: st.generated,
+		}
 	}
 	rep.PhaseSwitches = e.switches
 	rep.Recomputes = e.recomputes
@@ -566,11 +695,12 @@ func (e *Engine) buildResult() *Result {
 	if !e.cfg.RecordKV {
 		rep.KVPeakUsage = float64(e.kv.PeakBlocks()) / float64(e.kv.CapacityBlocks())
 	}
+	rep.Latency = metrics.Digest(records, e.cfg.SLO)
 	var kvt *metrics.KVTimeline
 	if e.cfg.RecordKV {
 		kvt = e.kvTimeline
 	}
-	return &Result{Report: rep, Rec: e.cluster.Rec, KV: kvt, Finished: finished}
+	return &Result{Report: rep, Rec: e.cluster.Rec, KV: kvt, Finished: finished, Records: records}
 }
 
 // Run is the package-level convenience: build an engine on a fresh

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The online sweep must calibrate against the offline run, cover every
+// load factor, and produce finite latency/goodput columns.
+func TestOnlineSweep(t *testing.T) {
+	env, err := NewEnv(Options{PoolSize: 2000, Requests: 250, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Online(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(onlineLoadFactors) {
+		t.Fatalf("got %d rows, want %d", len(rows), 1+len(onlineLoadFactors))
+	}
+	if rows[0].Label != "offline" || rows[0].Rate != 0 {
+		t.Errorf("first row = %+v, want offline calibration", rows[0])
+	}
+	for i, r := range rows[1:] {
+		if r.Rate <= 0 {
+			t.Errorf("row %d rate = %v", i+1, r.Rate)
+		}
+		if i > 0 && r.Rate <= rows[i].Rate {
+			t.Errorf("rates not increasing at row %d", i+1)
+		}
+		d := r.Report.Latency
+		if d.Requests != 250 {
+			t.Errorf("row %q digest covers %d requests", r.Label, d.Requests)
+		}
+		if g := d.Goodput(); g < 0 || g > 1 {
+			t.Errorf("row %q goodput = %v", r.Label, g)
+		}
+		if d.TTFTP99 < d.TTFTP50 {
+			t.Errorf("row %q ttft p99 %v < p50 %v", r.Label, d.TTFTP99, d.TTFTP50)
+		}
+	}
+	// Lighter load must not have worse p99 TTFT than the heaviest
+	// point (queueing grows with load).
+	lightest, heaviest := rows[1].Report.Latency, rows[len(rows)-1].Report.Latency
+	if lightest.TTFTP99 > heaviest.TTFTP99 {
+		t.Errorf("ttft p99 shrank with load: %.2f at light vs %.2f at heavy",
+			lightest.TTFTP99, heaviest.TTFTP99)
+	}
+	out := FormatOnline(rows)
+	if !strings.Contains(out, "offline") || !strings.Contains(out, "goodput") {
+		t.Errorf("formatted table missing columns:\n%s", out)
+	}
+}

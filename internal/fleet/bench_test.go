@@ -26,6 +26,29 @@ func BenchmarkDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlineFleet measures the online serving path — shared-clock
+// co-simulation, per-arrival routing with live load snapshots, and the
+// record merge — on an arrival-stamped 5,000-request trace across 4
+// replicas, alongside the offline benchmarks so future PRs can track
+// online-path cost.
+func BenchmarkOnlineFleet(b *testing.B) {
+	reqs := workload.StampArrivals(smallTrace(5000, 1), workload.Poisson{Rate: 200}, 7)
+	for i := 0; i < b.N; i++ {
+		p, err := New(PredictedCost, Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunOnline(fastConfig(2), 4, p, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Report.OutputThroughput(), "tok/s")
+			b.ReportMetric(res.Report.Latency.TTFTP99, "ttft-p99-s")
+		}
+	}
+}
+
 // BenchmarkRun measures a full fleet run (dispatch + N concurrent
 // engine replicas + merge) on the fast test deployment, scaling the
 // replica count.

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -324,6 +325,85 @@ func TestConcurrentFleetsRace(t *testing.T) {
 		}(name)
 	}
 	wg.Wait()
+}
+
+// A single-replica fleet is just the lone engine: every aggregate field
+// must equal the replica's own report (only the scheduler label and the
+// record IDs differ).
+func TestMergeSingleReplicaEqualsLoneReport(t *testing.T) {
+	reqs := smallTrace(150, 12)
+	res, err := Run(fastConfig(2), 1, mustPolicy(t, RoundRobin, Options{}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone := res.Replicas[0].Report
+	agg := res.Report
+	if agg.Requests != lone.Requests || agg.InputTokens != lone.InputTokens ||
+		agg.OutputTokens != lone.OutputTokens || agg.Elapsed != lone.Elapsed ||
+		agg.GPUs != lone.GPUs || agg.PhaseSwitches != lone.PhaseSwitches ||
+		agg.Recomputes != lone.Recomputes || agg.KVPeakUsage != lone.KVPeakUsage {
+		t.Errorf("aggregate differs from lone replica:\nagg:  %+v\nlone: %+v", agg, lone)
+	}
+	if agg.MeanUtilization != lone.MeanUtilization {
+		t.Errorf("utilization %v != lone %v", agg.MeanUtilization, lone.MeanUtilization)
+	}
+	if agg.Latency != lone.Latency {
+		t.Errorf("latency digest differs:\nagg:  %+v\nlone: %+v", agg.Latency, lone.Latency)
+	}
+}
+
+// Empty shards produce zero-duration replicas (Elapsed 0); the merge
+// must not divide by zero anywhere — utilization, throughput and the
+// latency digest must stay finite.
+func TestMergeZeroDurationReplica(t *testing.T) {
+	reqs := smallTrace(2, 8)
+	res, err := Run(fastConfig(2), 4, mustPolicy(t, RoundRobin, Options{}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 4; i++ {
+		if e := res.Replicas[i].Report.Elapsed; e != 0 {
+			t.Fatalf("replica %d elapsed = %v, want 0 (empty shard)", i, e)
+		}
+	}
+	rep := res.Report
+	if math.IsNaN(rep.MeanUtilization) || rep.MeanUtilization < 0 || rep.MeanUtilization > 1 {
+		t.Errorf("utilization = %v", rep.MeanUtilization)
+	}
+	if math.IsNaN(rep.OutputThroughput()) || math.IsInf(rep.OutputThroughput(), 0) {
+		t.Errorf("throughput = %v", rep.OutputThroughput())
+	}
+	if rep.Latency.Requests != 2 {
+		t.Errorf("digest covers %d requests, want 2", rep.Latency.Requests)
+	}
+	if g := rep.Latency.Goodput(); math.IsNaN(g) {
+		t.Errorf("goodput = %v", g)
+	}
+	if len(res.Records) != 2 {
+		t.Errorf("merged %d records, want 2", len(res.Records))
+	}
+}
+
+// An entirely empty trace: every replica is zero-duration and the
+// aggregate must still be finite and conservation-clean.
+func TestMergeEmptyTrace(t *testing.T) {
+	res, err := Run(fastConfig(2), 3, mustPolicy(t, RoundRobin, Options{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Requests != 0 || rep.Elapsed != 0 {
+		t.Errorf("empty fleet report = %+v", rep)
+	}
+	if math.IsNaN(rep.MeanUtilization) || rep.MeanUtilization != 0 {
+		t.Errorf("utilization = %v", rep.MeanUtilization)
+	}
+	if rep.OutputThroughput() != 0 {
+		t.Errorf("throughput = %v", rep.OutputThroughput())
+	}
+	if g := rep.Latency.Goodput(); g != 1 {
+		t.Errorf("empty goodput = %v", g)
+	}
 }
 
 func TestPredictedCostFallsBackToOracle(t *testing.T) {

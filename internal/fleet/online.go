@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RunOnline serves an arrival-stamped trace as an online router: every
+// replica engine runs on ONE shared virtual clock, and each request is
+// routed at its arrival instant. Unlike the offline pre-shard
+// (Dispatch), policies see the arrival order and a live load snapshot —
+// the work each replica still has outstanding at that moment, not the
+// whole-trace totals — through the same Policy interface and registry.
+//
+// The co-simulation is single-threaded (one event queue), so results
+// are deterministic for a fixed trace, config and policy seed. Use Run
+// for closed-loop (all-at-t=0) traces, where the pre-shard is
+// equivalent and replicas can simulate in parallel.
+func RunOnline(cfg core.Config, replicas int, p Policy, reqs []workload.Request) (*Result, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("fleet: replicas = %d", replicas)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("fleet: nil policy")
+	}
+	eng := sim.NewEngine()
+	engines := make([]*core.Engine, replicas)
+	for i := range engines {
+		e, err := core.NewEngine(eng, cfg)
+		if err != nil {
+			for _, prev := range engines[:i] {
+				prev.Shutdown()
+			}
+			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+		if err := e.StartOnline(); err != nil {
+			e.Shutdown()
+			for _, prev := range engines[:i] {
+				prev.Shutdown()
+			}
+			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+		engines[i] = e
+	}
+	router := &onlineRouter{
+		policy:  p,
+		engines: engines,
+		shards:  make([]Shard, replicas),
+		ledger:  make([][]ledgerEntry, replicas),
+	}
+	// One event per request at its arrival instant, scheduled in
+	// (arrival, trace index) order so simultaneous arrivals route in
+	// trace order.
+	for _, idx := range workload.SortByArrival(reqs) {
+		idx := idx
+		r := reqs[idx]
+		at := sim.Time(r.ArrivalTime)
+		if at < 0 {
+			at = 0
+		}
+		eng.At(at, func() { router.route(r, idx) })
+	}
+	eng.Run()
+	if router.err != nil {
+		for _, e := range engines {
+			e.Shutdown()
+		}
+		return nil, router.err
+	}
+	// Finalize every engine even after a failure: Finalize shuts the
+	// replica's worker cluster down, and skipping the rest would leak
+	// their worker goroutines.
+	results := make([]*core.Result, replicas)
+	var ferr error
+	for i, e := range engines {
+		res, err := e.Finalize()
+		if err != nil && ferr == nil {
+			ferr = fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return assemble(cfg, "FleetOnline", p.Name(), results, router.shards, len(reqs))
+}
+
+// ledgerEntry tracks one routed request until it finishes, so load
+// snapshots count only outstanding work.
+type ledgerEntry struct {
+	// local is the request's dense ID inside its replica.
+	local int
+	// inputTokens and cost are the entry's contribution to the load
+	// snapshot while outstanding.
+	inputTokens int
+	cost        float64
+}
+
+// onlineRouter routes arrivals to replica engines inside the shared
+// simulation.
+type onlineRouter struct {
+	policy  Policy
+	engines []*core.Engine
+	shards  []Shard
+	ledger  [][]ledgerEntry
+	err     error
+}
+
+// route dispatches one request at its arrival instant.
+func (ro *onlineRouter) route(r workload.Request, origin int) {
+	if ro.err != nil {
+		return
+	}
+	k := ro.policy.Pick(r, ro.loads())
+	if k < 0 || k >= len(ro.engines) {
+		ro.err = fmt.Errorf("fleet: policy %q picked replica %d of %d", ro.policy.Name(), k, len(ro.engines))
+		return
+	}
+	cost := ro.policy.Cost(r)
+	local := ro.engines[k].Submit(r)
+	ro.ledger[k] = append(ro.ledger[k], ledgerEntry{local: local, inputTokens: r.InputLen, cost: cost})
+	routed := r
+	routed.ID = local
+	ro.shards[k].Reqs = append(ro.shards[k].Reqs, routed)
+	ro.shards[k].Origin = append(ro.shards[k].Origin, origin)
+}
+
+// loads snapshots each replica's outstanding work right now: requests
+// routed to it that have not finished, their input tokens, and the
+// policy's own cost estimates. Finished entries are dropped from the
+// ledger as they are discovered, so the scan stays amortized-linear.
+func (ro *onlineRouter) loads() []Load {
+	loads := make([]Load, len(ro.engines))
+	for i := range ro.engines {
+		live := ro.ledger[i][:0]
+		var l Load
+		for _, entry := range ro.ledger[i] {
+			if ro.engines[i].RequestFinished(entry.local) {
+				continue
+			}
+			live = append(live, entry)
+			l.Requests++
+			l.InputTokens += entry.inputTokens
+			l.CostTokens += entry.cost
+		}
+		ro.ledger[i] = live
+		loads[i] = l
+	}
+	return loads
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRequestRecordMath(t *testing.T) {
+	r := RequestRecord{Arrival: 10, FirstToken: 12, Finish: 22, OutputTokens: 11}
+	if got := r.TTFT(); got != 2 {
+		t.Errorf("TTFT = %v", got)
+	}
+	if got := r.TPOT(); got != 1 {
+		t.Errorf("TPOT = %v", got)
+	}
+	if got := r.E2E(); got != 12 {
+		t.Errorf("E2E = %v", got)
+	}
+	one := RequestRecord{Arrival: 0, FirstToken: 1, Finish: 1, OutputTokens: 1}
+	if got := one.TPOT(); got != 0 {
+		t.Errorf("single-token TPOT = %v", got)
+	}
+}
+
+func TestSLO(t *testing.T) {
+	var none SLO
+	if none.Enabled() {
+		t.Error("zero SLO enabled")
+	}
+	if !none.Met(RequestRecord{Arrival: 0, FirstToken: 1e6, Finish: 2e6, OutputTokens: 5}) {
+		t.Error("disabled SLO rejected a record")
+	}
+	s := SLO{TTFT: 2, E2E: 20}
+	ok := RequestRecord{Arrival: 0, FirstToken: 1, Finish: 15, OutputTokens: 10}
+	slow := RequestRecord{Arrival: 0, FirstToken: 3, Finish: 15, OutputTokens: 10}
+	long := RequestRecord{Arrival: 0, FirstToken: 1, Finish: 25, OutputTokens: 10}
+	if !s.Met(ok) {
+		t.Error("good record rejected")
+	}
+	if s.Met(slow) {
+		t.Error("slow-TTFT record accepted")
+	}
+	if s.Met(long) {
+		t.Error("slow-E2E record accepted")
+	}
+	tp := SLO{TPOT: 0.5}
+	bad := RequestRecord{Arrival: 0, FirstToken: 0, Finish: 10, OutputTokens: 11}
+	if tp.Met(bad) {
+		t.Error("1 s/token accepted under 0.5 s/token SLO")
+	}
+}
+
+func TestDigest(t *testing.T) {
+	var records []RequestRecord
+	for i := 0; i < 100; i++ {
+		// TTFT = i/10 seconds, 10 tokens at 0.1 s/token.
+		records = append(records, RequestRecord{
+			ID:           i,
+			Arrival:      float64(i),
+			FirstToken:   float64(i) + float64(i)/10,
+			Finish:       float64(i) + float64(i)/10 + 0.9,
+			OutputTokens: 10,
+		})
+	}
+	slo := SLO{TTFT: 5}
+	d := Digest(records, slo)
+	if d.Requests != 100 {
+		t.Fatalf("requests = %d", d.Requests)
+	}
+	// Index-style percentiles: p50 -> idx 49, p99 -> idx 98.
+	if math.Abs(d.TTFTP50-4.9) > 1e-6 || math.Abs(d.TTFTP99-9.8) > 1e-6 {
+		t.Errorf("ttft p50/p99 = %v/%v", d.TTFTP50, d.TTFTP99)
+	}
+	if math.Abs(d.TPOTP50-0.1) > 1e-6 {
+		t.Errorf("tpot p50 = %v", d.TPOTP50)
+	}
+	if math.Abs(d.E2EP99-10.7) > 1e-6 {
+		t.Errorf("e2e p99 = %v", d.E2EP99)
+	}
+	// TTFT <= 5 for i <= 50: 51 good requests.
+	if d.SLOMet != 51 {
+		t.Errorf("SLOMet = %d, want 51", d.SLOMet)
+	}
+	if g := d.Goodput(); math.Abs(g-0.51) > 1e-9 {
+		t.Errorf("goodput = %v", g)
+	}
+	// Digest must be order-independent.
+	rev := make([]RequestRecord, len(records))
+	for i, r := range records {
+		rev[len(records)-1-i] = r
+	}
+	if Digest(rev, slo) != d {
+		t.Error("digest depends on record order")
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	d := Digest(nil, DefaultSLO())
+	if d.Requests != 0 || d.TTFTP99 != 0 {
+		t.Errorf("empty digest = %+v", d)
+	}
+	if d.Goodput() != 1 {
+		t.Errorf("empty goodput = %v", d.Goodput())
+	}
+}
+
+func TestPercentileFloat(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := Percentile([]float64{3}, 99); got != 3 {
+		t.Errorf("single = %v", got)
+	}
+	unsorted := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(unsorted, 50); got != 3 {
+		t.Errorf("unsorted p50 = %v", got)
+	}
+	if unsorted[0] != 5 {
+		t.Errorf("input mutated: %v", unsorted)
+	}
+	if got := Percentile([]float64{1, 2}, 200); got != 2 {
+		t.Errorf("clamped p200 = %v", got)
+	}
+}

@@ -194,6 +194,12 @@ type Report struct {
 	Recomputes int
 	// KVPeakUsage is the high-water KV occupancy ratio.
 	KVPeakUsage float64
+
+	// Latency digests per-request records: TTFT/TPOT/E2E percentiles
+	// and goodput under the run's SLO. Under instantaneous arrivals
+	// (the offline regime) TTFT and E2E include the whole-batch
+	// queueing delay from t=0.
+	Latency LatencyDigest
 }
 
 // OutputThroughput returns generated tokens per second, the paper's

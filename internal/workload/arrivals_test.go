@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func processes() []ArrivalProcess {
+	return []ArrivalProcess{
+		Instant{},
+		Poisson{Rate: 5},
+		Bursty{OnRate: 10, OffRate: 0, MeanOn: 30, MeanOff: 30},
+		Diurnal{BaseRate: 2.5, PeakRate: 7.5, Period: 600},
+	}
+}
+
+// Every process must produce non-decreasing, non-negative times, and be
+// bit-identical for the same seed.
+func TestArrivalProcessInvariants(t *testing.T) {
+	for _, p := range processes() {
+		t.Run(p.Name(), func(t *testing.T) {
+			a := p.Times(2000, rand.New(rand.NewSource(7)))
+			b := p.Times(2000, rand.New(rand.NewSource(7)))
+			if len(a) != 2000 {
+				t.Fatalf("got %d times", len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("times[%d] differ for same seed: %v vs %v", i, a[i], b[i])
+				}
+				if a[i] < 0 {
+					t.Fatalf("times[%d] = %v < 0", i, a[i])
+				}
+				if i > 0 && a[i] < a[i-1] {
+					t.Fatalf("times decrease at %d: %v after %v", i, a[i], a[i-1])
+				}
+			}
+		})
+	}
+}
+
+func TestInstantIsAllZero(t *testing.T) {
+	for _, tm := range (Instant{}).Times(100, rand.New(rand.NewSource(1))) {
+		if tm != 0 {
+			t.Fatalf("instant arrival at %v", tm)
+		}
+	}
+}
+
+// The empirical mean rate of each stochastic process must be close to
+// its configured mean.
+func TestArrivalMeanRates(t *testing.T) {
+	cases := []struct {
+		p    ArrivalProcess
+		want float64
+	}{
+		{Poisson{Rate: 5}, 5},
+		{Bursty{OnRate: 10, OffRate: 0, MeanOn: 30, MeanOff: 30}, 5},
+		{Bursty{OnRate: 8, OffRate: 2, MeanOn: 10, MeanOff: 30}, (8*10 + 2*30) / 40.0},
+		{Diurnal{BaseRate: 2.5, PeakRate: 7.5, Period: 600}, 5},
+	}
+	const n = 20000
+	for _, c := range cases {
+		t.Run(c.p.Name(), func(t *testing.T) {
+			times := c.p.Times(n, rand.New(rand.NewSource(11)))
+			got := float64(n) / times[n-1]
+			if math.Abs(got-c.want)/c.want > 0.15 {
+				t.Errorf("empirical rate %.2f req/s, want ~%.2f", got, c.want)
+			}
+		})
+	}
+}
+
+// Bursty with a silent off state must leave visible gaps: the largest
+// inter-arrival gap should be on the order of the off period, far above
+// the on-state mean gap.
+func TestBurstyLeavesGaps(t *testing.T) {
+	b := Bursty{OnRate: 10, OffRate: 0, MeanOn: 20, MeanOff: 20}
+	times := b.Times(5000, rand.New(rand.NewSource(3)))
+	var maxGap float64
+	for i := 1; i < len(times); i++ {
+		if g := times[i] - times[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap < 5 {
+		t.Errorf("max gap %.2fs; expected off periods around 20s", maxGap)
+	}
+}
+
+// The diurnal rate function must hit its bounds and average to the
+// configured mean.
+func TestDiurnalRateCurve(t *testing.T) {
+	d := Diurnal{BaseRate: 1, PeakRate: 3, Period: 600}
+	if r := d.RateAt(0); math.Abs(r-1) > 1e-9 {
+		t.Errorf("rate at t=0 is %v, want 1", r)
+	}
+	if r := d.RateAt(300); math.Abs(r-3) > 1e-9 {
+		t.Errorf("rate at half period is %v, want 3", r)
+	}
+	var sum float64
+	for i := 0; i < 600; i++ {
+		sum += d.RateAt(float64(i))
+	}
+	if mean := sum / 600; math.Abs(mean-2) > 0.05 {
+		t.Errorf("mean rate %v, want ~2", mean)
+	}
+}
+
+func TestArrivalConfig(t *testing.T) {
+	for _, kind := range ArrivalKinds() {
+		cfg := ArrivalConfig{Kind: kind, Rate: 4, Seed: 1}
+		p, err := cfg.Process()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if p.Name() != kind {
+			t.Errorf("kind %q built process %q", kind, p.Name())
+		}
+	}
+	if err := (ArrivalConfig{Kind: "no-such"}).Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := (ArrivalConfig{Kind: ArrivalPoisson, Rate: 0}).Validate(); err == nil {
+		t.Error("poisson with zero rate accepted")
+	}
+	if err := (ArrivalConfig{Kind: ArrivalInstant}).Validate(); err != nil {
+		t.Errorf("instant with zero rate rejected: %v", err)
+	}
+}
+
+// Stamping must not mutate the input, must preserve everything but
+// ArrivalTime, and must assign times in request order.
+func TestStampArrivals(t *testing.T) {
+	reqs := MustGenerate(DefaultConfig(200, 1))
+	stamped := StampArrivals(reqs, Poisson{Rate: 5}, 9)
+	if len(stamped) != len(reqs) {
+		t.Fatalf("stamped %d of %d", len(stamped), len(reqs))
+	}
+	for i, r := range reqs {
+		if r.ArrivalTime != 0 {
+			t.Fatalf("input mutated: request %d arrival %v", i, r.ArrivalTime)
+		}
+		s := stamped[i]
+		if s.ID != r.ID || s.InputLen != r.InputLen || s.OutputLen != r.OutputLen || s.Topic != r.Topic {
+			t.Fatalf("request %d mutated beyond ArrivalTime", i)
+		}
+		if i > 0 && s.ArrivalTime < stamped[i-1].ArrivalTime {
+			t.Fatalf("arrival order broken at %d", i)
+		}
+	}
+	if !HasArrivals(stamped) {
+		t.Error("stamped trace reports no arrivals")
+	}
+	if HasArrivals(reqs) {
+		t.Error("unstamped trace reports arrivals")
+	}
+}
+
+func TestSortByArrival(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, ArrivalTime: 5},
+		{ID: 1, ArrivalTime: 1},
+		{ID: 2, ArrivalTime: 1},
+		{ID: 3, ArrivalTime: 0},
+	}
+	got := SortByArrival(reqs)
+	want := []int{3, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

@@ -31,6 +31,11 @@ type Request struct {
 	// stand-in for a BERT [CLS] vector): a noisy topic centroid plus
 	// normalized prompt length.
 	Features []float64
+	// ArrivalTime is when the request enters the system, in virtual
+	// seconds. Zero (the generator default) means the request exists
+	// from the start — the offline-batch regime. Stamp arrival times
+	// with an ArrivalProcess for open-loop online serving.
+	ArrivalTime float64
 }
 
 // TotalLen returns input + output tokens.
@@ -207,13 +212,27 @@ func Summarize(reqs []Request) Stats {
 	return s
 }
 
-// PercentileInt returns the p-th percentile of sorted values.
-func PercentileInt(sorted []int, p float64) int {
-	if len(sorted) == 0 {
+// PercentileInt returns the p-th percentile of values. Sorted input is
+// used as-is; unsorted input is copied and sorted first, so callers
+// never get a silently wrong quantile. p is clamped to [0, 100]; the
+// empty slice yields 0.
+func PercentileInt(values []int, p float64) int {
+	if len(values) == 0 {
 		return 0
 	}
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return sorted[idx]
+	if !sort.IntsAreSorted(values) {
+		c := append([]int(nil), values...)
+		sort.Ints(c)
+		values = c
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	idx := int(p / 100 * float64(len(values)-1))
+	return values[idx]
 }
 
 func clampInt(v, lo, hi int) int {

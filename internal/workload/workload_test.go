@@ -165,6 +165,36 @@ func TestPercentileInt(t *testing.T) {
 	}
 }
 
+// PercentileInt must not silently assume sorted input: unsorted slices
+// are sorted defensively (on a copy), single elements are returned
+// directly, and out-of-range p is clamped.
+func TestPercentileIntDefensive(t *testing.T) {
+	unsorted := []int{9, 1, 5, 3, 7, 2, 10, 4, 8, 6}
+	if got := PercentileInt(unsorted, 50); got != 5 {
+		t.Errorf("unsorted p50 = %d, want 5", got)
+	}
+	if got := PercentileInt(unsorted, 100); got != 10 {
+		t.Errorf("unsorted p100 = %d, want 10", got)
+	}
+	// The input must not be reordered.
+	if unsorted[0] != 9 || unsorted[9] != 6 {
+		t.Errorf("input mutated: %v", unsorted)
+	}
+	if got := PercentileInt([]int{42}, 99); got != 42 {
+		t.Errorf("single-element p99 = %d, want 42", got)
+	}
+	if got := PercentileInt([]int{42}, 0); got != 42 {
+		t.Errorf("single-element p0 = %d, want 42", got)
+	}
+	sorted := []int{1, 2, 3}
+	if got := PercentileInt(sorted, 150); got != 3 {
+		t.Errorf("p150 = %d, want clamp to max", got)
+	}
+	if got := PercentileInt(sorted, -5); got != 1 {
+		t.Errorf("p-5 = %d, want clamp to min", got)
+	}
+}
+
 func TestTotalLen(t *testing.T) {
 	r := Request{InputLen: 3, OutputLen: 4}
 	if r.TotalLen() != 7 {

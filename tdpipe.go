@@ -44,6 +44,16 @@ var (
 
 // Core aliases: the engine configuration and results.
 type (
+	// ArrivalProcess generates open-loop arrival times.
+	ArrivalProcess = workload.ArrivalProcess
+	// ArrivalConfig selects an arrival process by name (flag-friendly).
+	ArrivalConfig = workload.ArrivalConfig
+	// SLO is a latency objective (TTFT/TPOT/E2E bounds) for goodput.
+	SLO = metrics.SLO
+	// LatencyDigest summarizes per-request latency percentiles.
+	LatencyDigest = metrics.LatencyDigest
+	// RequestRecord is one request's lifecycle timestamps.
+	RequestRecord = metrics.RequestRecord
 	// Node describes a multi-GPU server.
 	Node = hw.Node
 	// ModelSpec describes a transformer model.
@@ -71,6 +81,30 @@ const (
 	PPSB = baselines.PPSB
 	PPHB = baselines.PPHB
 )
+
+// Built-in arrival process kinds for ArrivalConfig.
+const (
+	ArrivalInstant = workload.ArrivalInstant
+	ArrivalPoisson = workload.ArrivalPoisson
+	ArrivalBursty  = workload.ArrivalBursty
+	ArrivalDiurnal = workload.ArrivalDiurnal
+)
+
+// DefaultSLO returns the default serving objective used by the online
+// experiments.
+func DefaultSLO() SLO { return metrics.DefaultSLO() }
+
+// StampArrivals returns a copy of reqs with open-loop arrival times
+// drawn from the configured process. Engines admit a request only once
+// virtual time reaches its arrival; unstamped traces (all arrivals at
+// t=0) reproduce the offline-batch behavior exactly.
+func StampArrivals(reqs []Request, cfg ArrivalConfig) ([]Request, error) {
+	return cfg.Stamp(reqs)
+}
+
+// HasArrivals reports whether the trace is open-loop (any request
+// arrives after t=0).
+func HasArrivals(reqs []Request) bool { return workload.HasArrivals(reqs) }
 
 // NewConfig returns a paper-faithful TD-Pipe configuration for world
 // GPUs of the node running the model. The default predictor is the
@@ -110,18 +144,28 @@ func NewFleetPolicy(name string, opts FleetOptions) (FleetPolicy, error) {
 	return fleet.New(name, opts)
 }
 
-// RunFleet shards the trace across replicas data-parallel TD-Pipe
-// engines (each a full copy of cfg on its own virtual-time substrate,
-// run concurrently) under the named dispatch policy, and merges the
-// per-replica reports into one fleet report. The policy inherits
-// cfg.Predictor (predicted-cost dispatch uses the same classifier as
-// the greedy prefill) and a fixed seed, so results are deterministic
-// for a given trace and config; use fleet.Run directly for custom
-// policy instances or seeds.
+// RunFleet serves the trace on replicas data-parallel TD-Pipe engines
+// under the named dispatch policy and merges the per-replica reports
+// (including per-request latency records) into one fleet report.
+//
+// Closed-loop traces (every arrival at t=0) are pre-sharded and the
+// replicas simulate concurrently, each on its own virtual-time
+// substrate. Arrival-stamped traces (see StampArrivals) are served by
+// the online router instead: all replicas share one virtual clock and
+// each request is dispatched at its arrival instant using a live
+// snapshot of per-replica outstanding work.
+//
+// The policy inherits cfg.Predictor (predicted-cost dispatch uses the
+// same classifier as the greedy prefill) and a fixed seed, so results
+// are deterministic for a given trace and config; use fleet.Run or
+// fleet.RunOnline directly for custom policy instances or seeds.
 func RunFleet(cfg Config, replicas int, policy string, reqs []Request) (*FleetResult, error) {
 	p, err := fleet.New(policy, fleet.Options{Seed: 1, Predictor: cfg.Predictor})
 	if err != nil {
 		return nil, err
+	}
+	if workload.HasArrivals(reqs) {
+		return fleet.RunOnline(cfg, replicas, p, reqs)
 	}
 	return fleet.Run(cfg, replicas, p, reqs)
 }

@@ -84,6 +84,53 @@ func TestRunFleet(t *testing.T) {
 	}
 }
 
+// The facade's open-loop path: StampArrivals produces an arrival-
+// stamped trace, Run admits by arrival and reports latency, and
+// RunFleet auto-routes stamped traces through the online router.
+func TestFacadeOnlineServing(t *testing.T) {
+	trace, err := NewTrace(3000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(A100, Llama2_70B, 4)
+	cfg.SLO = DefaultSLO()
+	reqs := trace.Sample(400, 5)
+
+	stamped, err := StampArrivals(reqs, ArrivalConfig{Kind: ArrivalPoisson, Rate: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasArrivals(reqs) || !HasArrivals(stamped) {
+		t.Fatal("HasArrivals misclassifies traces")
+	}
+
+	res, err := Run(cfg, stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Latency.Requests != 400 {
+		t.Errorf("latency digest covers %d requests", res.Report.Latency.Requests)
+	}
+
+	fres, err := RunFleet(cfg, 2, FleetLeastWork, stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fres.CheckConservation(len(stamped)); err != nil {
+		t.Error(err)
+	}
+	if fres.Report.Scheduler != "FleetOnline(TD-Pipe/least-work)x2" {
+		t.Errorf("stamped trace not routed online: %q", fres.Report.Scheduler)
+	}
+	if len(fres.Records) != 400 {
+		t.Errorf("merged %d records", len(fres.Records))
+	}
+
+	if _, err := StampArrivals(reqs, ArrivalConfig{Kind: "bogus"}); err == nil {
+		t.Error("bogus arrival kind accepted")
+	}
+}
+
 func TestFacadeCatalog(t *testing.T) {
 	if L20.GPU.MemGB != 48 || A100.GPU.MemGB != 80 {
 		t.Error("node catalog wrong")
