@@ -1,14 +1,26 @@
 # Tier-1 verify is `make ci` (build + vet + test + race).
 
 GO ?= go
+# Shorten in CI's fuzz job (make fuzz FUZZTIME=15s).
+FUZZTIME ?= 30s
+# Suffix for the benchmark snapshot (CI passes the run number so
+# artifacts accumulate into a perf trajectory).
+BENCH_N ?= local
 
-.PHONY: build vet test race bench fuzz ci
+.PHONY: build vet fmt-check test race bench bench-json fuzz ci
 
 build:
 	$(GO) build ./...
 
-vet:
+vet: fmt-check
 	$(GO) vet ./...
+
+# Fail on any file gofmt would rewrite.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -21,7 +33,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# One machine-readable benchmark snapshot per run: name -> ns/op,
+# B/op, allocs/op. CI uploads BENCH_<run>.json as an artifact. The
+# intermediate file (not a pipe) makes a benchmark failure fail the
+# target instead of being masked by benchjson's exit status.
+bench-json:
+	$(GO) test -bench=. -benchmem -run='^$$' ./... > bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(BENCH_N).json
+	@rm -f bench.out
+	@echo wrote BENCH_$(BENCH_N).json
+
 fuzz:
-	$(GO) test -run='^$$' -fuzz=FuzzGenerateSplitInvariants -fuzztime=30s ./internal/workload/
+	$(GO) test -run='^$$' -fuzz=FuzzGenerateSplitInvariants -fuzztime=$(FUZZTIME) ./internal/workload/
 
 ci: build vet test race

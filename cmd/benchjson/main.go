@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON benchmark snapshot on stdout, so CI can archive one
+// machine-readable file per run and the performance trajectory
+// accumulates as build artifacts.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson > BENCH_1.json
+//
+// The output maps benchmark name (GOMAXPROCS suffix stripped) to its
+// metrics:
+//
+//	{"benchmarks": {"BenchmarkOnlineFleet": {"ns_per_op": 123456,
+//	  "bytes_per_op": 7890, "allocs_per_op": 12}}}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed result line. The memory fields are
+// serialized even when zero: "0 allocs/op" is a measurement worth
+// diffing against, not an absence.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the file layout: a map so downstream tooling can diff
+// runs by name without caring about ordering.
+type Snapshot struct {
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// parseLine extracts a benchmark result from one output line, e.g.
+//
+//	BenchmarkAppend-8   1000000   105.3 ns/op   16 B/op   1 allocs/op
+//
+// The second field (iteration count) is skipped; remaining fields come
+// in "<value> <unit>" pairs.
+func parseLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Metrics{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	var m Metrics
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+			seen = true
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	return name, m, seen
+}
+
+func main() {
+	snap := Snapshot{Benchmarks: map[string]Metrics{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, m, ok := parseLine(sc.Text()); ok {
+			snap.Benchmarks[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -21,6 +21,13 @@
 // set by -slo (E2E seconds), -slo-ttft and -slo-tpot. In fleet mode an
 // arrival-stamped trace is served by the online router: one shared
 // virtual clock, per-arrival dispatch on live load snapshots.
+//
+// Shared prefixes: -prefix-groups N stamps the trace with N shared
+// prefix groups (system prompts / multi-turn conversations) of mean
+// length -prefix-len and depth -prefix-turns. Engines reuse resident
+// prefix KV and skip the cached prefill work; -no-prefix-cache is the
+// ablation. The prefix-affinity policy routes each group to the
+// replica with the warmest matching prefix.
 package main
 
 import (
@@ -58,6 +65,11 @@ type options struct {
 	arrivals string
 	rate     float64
 	slo      metrics.SLO
+
+	prefixGroups  int
+	prefixLen     int
+	prefixTurns   int
+	noPrefixCache bool
 }
 
 func main() {
@@ -79,6 +91,10 @@ func main() {
 	flag.Float64Var(&o.slo.E2E, "slo", 0, "end-to-end latency SLO in seconds (0 disables)")
 	flag.Float64Var(&o.slo.TTFT, "slo-ttft", 0, "time-to-first-token SLO in seconds (0 disables)")
 	flag.Float64Var(&o.slo.TPOT, "slo-tpot", 0, "time-per-output-token SLO in seconds (0 disables)")
+	flag.IntVar(&o.prefixGroups, "prefix-groups", 0, "shared-prefix groups to stamp on the trace (0 disables prefix structure)")
+	flag.IntVar(&o.prefixLen, "prefix-len", 256, "mean shared-prefix length in tokens")
+	flag.IntVar(&o.prefixTurns, "prefix-turns", 4, "conversation depth: turns over which a group's prefix grows")
+	flag.BoolVar(&o.noPrefixCache, "no-prefix-cache", false, "disable shared-prefix KV reuse (ablation)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
@@ -123,12 +139,21 @@ func printLatency(rep metrics.Report, open bool) {
 	}
 }
 
+// printPrefix shows prefix-cache reuse when any happened.
+func printPrefix(rep metrics.Report) {
+	if rep.PrefixCachedTokens > 0 {
+		fmt.Printf("prefix cache: %d input tokens reused (%.1f%% hit rate)\n",
+			rep.PrefixCachedTokens, 100*rep.PrefixHitRate())
+	}
+}
+
 // runFleet serves the sample on data-parallel TD-Pipe replicas: an
 // offline pre-shard for closed-loop traces, the shared-clock online
 // router for arrival-stamped ones.
 func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Request, open bool) error {
 	cfg := core.DefaultConfig(node, spec, o.gpus)
 	cfg.SLO = o.slo
+	cfg.DisablePrefixCache = o.noPrefixCache
 	if !o.oracle {
 		clf, err := trainedPredictor(pool)
 		if err != nil {
@@ -158,6 +183,7 @@ func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Re
 	fmt.Printf("output throughput: %.0f tokens/s, total: %.0f tokens/s\n",
 		res.Report.OutputThroughput(), res.Report.TotalThroughput())
 	printLatency(res.Report, open)
+	printPrefix(res.Report)
 
 	if o.outDir == "" {
 		return nil
@@ -197,6 +223,15 @@ func run(o options) error {
 	}
 	reqs := workload.Sample(pool, o.requests, o.seed+1000)
 
+	if o.prefixGroups > 0 {
+		reqs, err = workload.StampPrefixes(reqs, workload.PrefixConfig{
+			Groups: o.prefixGroups, PrefixLen: o.prefixLen, Turns: o.prefixTurns, Seed: o.seed + 3000,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	acfg := workload.ArrivalConfig{Kind: o.arrivals, Rate: o.rate, Seed: o.seed + 2000}
 	if err := acfg.Validate(); err != nil {
 		return err
@@ -224,6 +259,7 @@ func run(o options) error {
 		cfg := core.DefaultConfig(node, spec, o.gpus)
 		cfg.RecordKV = true
 		cfg.SLO = o.slo
+		cfg.DisablePrefixCache = o.noPrefixCache
 		if !o.oracle {
 			clf, err := trainedPredictor(pool)
 			if err != nil {
@@ -274,6 +310,7 @@ func run(o options) error {
 	fmt.Println(rep)
 	fmt.Printf("output throughput: %.0f tokens/s, total: %.0f tokens/s\n", rep.OutputThroughput(), rep.TotalThroughput())
 	printLatency(rep, open)
+	printPrefix(rep)
 
 	if o.outDir == "" {
 		return nil

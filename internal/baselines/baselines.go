@@ -211,7 +211,9 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	kv, err := kvcache.NewManager(capTok, cfg.BlockSize)
+	// Floor-align the byte-derived capacity to keep the historical
+	// block count (NewManager now rounds up instead of truncating).
+	kv, err := kvcache.NewManager(kvcache.AlignTokens(capTok, cfg.BlockSize), cfg.BlockSize)
 	if err != nil {
 		return nil, err
 	}

@@ -87,6 +87,13 @@ type Config struct {
 	// the balanced split at phase entry is kept.
 	DisableWorkStealing bool
 
+	// DisablePrefixCache turns off shared-prefix KV reuse: every
+	// request prefills its full prompt even on prefix-structured
+	// traces (workload.StampPrefixes) — the no-sharing ablation.
+	// Sharing is a no-op on unstructured traces either way, so the
+	// default (enabled) reproduces all pre-prefix results exactly.
+	DisablePrefixCache bool
+
 	// RecordKV enables the Fig.-12 KV usage timeline.
 	RecordKV bool
 

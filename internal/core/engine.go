@@ -23,6 +23,10 @@ type reqState struct {
 	// prefillLen is how many tokens the next prefill must process
 	// (input plus any tokens generated before an eviction).
 	prefillLen int
+	// cached is how many leading tokens of the last allocation were
+	// served from shared prefix blocks — prefill work skipped, and KV
+	// this request references but did not pay for.
+	cached     int
 	done       bool
 	evicted    bool
 	recomputes int
@@ -91,11 +95,14 @@ type Engine struct {
 
 	step       int
 	kvTimeline *metrics.KVTimeline
-	recomputes int
-	switches   int
-	finished   int
-	doneAt     sim.Time
-	running    bool
+	// prefixCached sums prompt tokens whose prefill was skipped via
+	// shared-prefix KV hits.
+	prefixCached int
+	recomputes   int
+	switches     int
+	finished     int
+	doneAt       sim.Time
+	running      bool
 
 	// pendingArrivals counts requests whose arrival event has not fired
 	// yet; while it is positive the engine may legitimately go idle.
@@ -122,7 +129,9 @@ func NewEngine(eng *sim.Engine, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	kv, err := kvcache.NewManager(capTokens, cfg.BlockSize)
+	// The byte-derived capacity is floor-aligned so the pool keeps the
+	// exact block count it always had (NewManager now rounds up).
+	kv, err := kvcache.NewManager(kvcache.AlignTokens(capTokens, cfg.BlockSize), cfg.BlockSize)
 	if err != nil {
 		cluster.Shutdown()
 		return nil, err
@@ -245,6 +254,34 @@ func (e *Engine) admit(id int) {
 	}
 }
 
+// sharePlan returns the shared-prefix coordinates of st's next
+// allocation, or (0, 0) when no KV reuse applies — sharing disabled,
+// unstructured request, or an empty effective prefix.
+func (e *Engine) sharePlan(st *reqState) (group, prefix int) {
+	if e.cfg.DisablePrefixCache || st.req.PrefixLen <= 0 {
+		return 0, 0
+	}
+	p := st.req.PrefixLen
+	if p > st.prefillLen {
+		p = st.prefillLen
+	}
+	return st.req.PrefixGroup, p
+}
+
+// PrefixWarmTokens reports how many tokens of r's shared prefix are
+// resident in this engine's KV pool right now — the cache-affinity
+// signal fleet dispatch policies read.
+func (e *Engine) PrefixWarmTokens(r workload.Request) int {
+	if e.cfg.DisablePrefixCache || r.PrefixLen <= 0 {
+		return 0
+	}
+	p := r.PrefixLen
+	if p > r.InputLen {
+		p = r.InputLen
+	}
+	return e.kv.MatchPrefix(r.PrefixGroup, p)
+}
+
 // RequestFinished reports whether local request id has completed —
 // the live load signal online dispatch policies snapshot.
 func (e *Engine) RequestFinished(id int) bool { return e.states[id].done }
@@ -289,7 +326,7 @@ func (e *Engine) startPrefillPhase() {
 	e.usage.Reset()
 	for _, id := range e.decodePool {
 		st := e.states[id]
-		e.usage.UpdateUsage(st.ctx, st.remainingPredicted())
+		e.usage.UpdateUsage(st.ctx-st.cached, st.remainingPredicted())
 	}
 	if e.launchPrefills() == 0 && e.inflight == 0 {
 		// Nothing could be admitted (memory still holds residents):
@@ -311,17 +348,36 @@ func (e *Engine) launchPrefills() (launched int) {
 		for len(e.waiting) > 0 && tokens < e.cfg.MaxPrefillTokens {
 			id := e.waiting[0]
 			st := e.states[id]
-			if !e.kv.CanAllocate(st.prefillLen) {
-				break
-			}
-			if err := e.kv.Allocate(id, st.prefillLen); err != nil {
-				break
+			if group, prefix := e.sharePlan(st); prefix > 0 {
+				if !e.kv.CanAllocateShared(st.prefillLen, group, prefix) {
+					break
+				}
+				hit, err := e.kv.AllocateShared(id, st.prefillLen, group, prefix)
+				if err != nil {
+					break
+				}
+				st.cached = hit
+			} else {
+				if !e.kv.CanAllocate(st.prefillLen) {
+					break
+				}
+				if err := e.kv.Allocate(id, st.prefillLen); err != nil {
+					break
+				}
+				st.cached = 0
 			}
 			e.waiting = e.waiting[1:]
 			st.evicted = false
 			ids = append(ids, id)
-			lens = append(lens, st.prefillLen)
-			tokens += st.prefillLen
+			// Cached prefix tokens skip prefill compute; at least the
+			// last prompt token is always recomputed to produce logits.
+			n := st.prefillLen - st.cached
+			if n < 1 {
+				n = 1
+			}
+			e.prefixCached += st.prefillLen - n
+			lens = append(lens, n)
+			tokens += n
 		}
 		if len(ids) == 0 {
 			break // memory full: decode must free space first
@@ -334,10 +390,12 @@ func (e *Engine) launchPrefills() (launched int) {
 			e.onPrefillDone(idsCopy, res)
 		})
 		// Algorithm 1: account the new requests and check the switch
-		// condition after each launched prefill.
+		// condition after each launched prefill. Shared prefix blocks
+		// are accounted once, by the request that allocated them; hits
+		// contribute only their private suffix.
 		for _, id := range ids {
 			st := e.states[id]
-			e.usage.UpdateUsage(st.prefillLen, st.remainingPredicted())
+			e.usage.UpdateUsage(st.prefillLen-st.cached, st.remainingPredicted())
 		}
 		if e.cfg.FixedPrefillSwitchRatio > 0 {
 			switchNow = e.kv.UsageRatio() >= e.cfg.FixedPrefillSwitchRatio
@@ -413,7 +471,7 @@ func (e *Engine) overlapPrefill() {
 			if st.done || st.evicted {
 				continue
 			}
-			e.usage.UpdateUsage(st.ctx, st.remainingPredicted())
+			e.usage.UpdateUsage(st.ctx-st.cached, st.remainingPredicted())
 		}
 	}
 	for _, b := range e.batches {
@@ -627,6 +685,7 @@ func (e *Engine) handleOOM(needID, slot int) {
 		e.recomputes++
 		st.prefillLen = st.req.InputLen + st.generated
 		st.ctx = 0
+		st.cached = 0
 		e.stealer.Remove(id)
 		e.waiting = append([]int{id}, e.waiting...)
 	}
@@ -640,6 +699,7 @@ func (e *Engine) handleOOM(needID, slot int) {
 		e.recomputes++
 		st.prefillLen = st.req.InputLen + st.generated
 		st.ctx = 0
+		st.cached = 0
 		e.waiting = append([]int{needID}, e.waiting...)
 	}
 }
@@ -689,6 +749,7 @@ func (e *Engine) buildResult() *Result {
 	}
 	rep.PhaseSwitches = e.switches
 	rep.Recomputes = e.recomputes
+	rep.PrefixCachedTokens = e.prefixCached
 	rep.MeanUtilization = e.cluster.Rec.MeanUtilization(0, float64(e.doneAt))
 	rep.BubbleRatio = 1 - rep.MeanUtilization
 	rep.KVPeakUsage = e.kvTimeline.Peak()

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/fleet"
 )
 
 // The fleet sweep runs on a reduced env: scheduler contrast is not the
@@ -16,8 +18,8 @@ func TestFleetSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 12 {
-		t.Fatalf("got %d cells, want 12 (3 sizes x 4 policies)", len(cells))
+	if want := 3 * len(fleet.Names()); len(cells) != want {
+		t.Fatalf("got %d cells, want %d (3 sizes x %d policies)", len(cells), want, len(fleet.Names()))
 	}
 	for _, c := range cells {
 		if c.Report.Requests != env.Opts.Requests {

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The prefix sweep must produce the no-cache control plus one row per
+// policy, with sharing visible only where it is enabled and the
+// affinity policy banking at least as many hits as round-robin.
+func TestPrefixSweep(t *testing.T) {
+	env, err := NewEnv(Options{PoolSize: 2000, Requests: 250, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Prefix(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(prefixPolicies) {
+		t.Fatalf("got %d rows, want %d", len(rows), 1+len(prefixPolicies))
+	}
+	if rows[0].Label != "no-cache" || rows[0].Report.PrefixCachedTokens != 0 {
+		t.Errorf("control row = %q with %d cached tokens", rows[0].Label, rows[0].Report.PrefixCachedTokens)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range rows {
+		if r.Report.Requests != 250 {
+			t.Errorf("row %q completed %d of 250", r.Label, r.Report.Requests)
+		}
+		if hr := r.Report.PrefixHitRate(); hr < 0 || hr >= 1 {
+			t.Errorf("row %q hit rate = %v", r.Label, hr)
+		}
+		byLabel[r.Label] = r.Report.PrefixHitRate()
+	}
+	if byLabel["prefix-affinity"] <= 0 {
+		t.Error("prefix-affinity produced no cache hits")
+	}
+	if byLabel["prefix-affinity"] < byLabel["round-robin"] {
+		t.Errorf("affinity hit rate %.3f below round-robin %.3f",
+			byLabel["prefix-affinity"], byLabel["round-robin"])
+	}
+	out := FormatPrefix(rows)
+	for _, want := range []string{"no-cache", "prefix-affinity", "hit %"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

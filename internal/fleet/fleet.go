@@ -42,7 +42,14 @@ func Dispatch(p Policy, replicas int, reqs []workload.Request) ([]Shard, error) 
 	}
 	loads := make([]Load, replicas)
 	shards := make([]Shard, replicas)
+	// warmth[k][g] is the longest prefix of group g assigned to
+	// replica k so far — the pre-shard's stand-in for live KV
+	// residency (without engines there is nothing to probe).
+	warmth := make([]map[int]int, replicas)
 	for i, r := range reqs {
+		for k := range loads {
+			loads[k].WarmTokens = warmTokens(warmth[k], r)
+		}
 		k := p.Pick(r, loads)
 		if k < 0 || k >= replicas {
 			return nil, fmt.Errorf("fleet: policy %q picked replica %d of %d", p.Name(), k, replicas)
@@ -50,11 +57,28 @@ func Dispatch(p Policy, replicas int, reqs []workload.Request) ([]Shard, error) 
 		loads[k].Requests++
 		loads[k].InputTokens += r.InputLen
 		loads[k].CostTokens += p.Cost(r)
+		if r.PrefixLen > 0 {
+			if warmth[k] == nil {
+				warmth[k] = make(map[int]int)
+			}
+			if plen := min(r.PrefixLen, r.InputLen); plen > warmth[k][r.PrefixGroup] {
+				warmth[k][r.PrefixGroup] = plen
+			}
+		}
 		r.ID = len(shards[k].Reqs)
 		shards[k].Reqs = append(shards[k].Reqs, r)
 		shards[k].Origin = append(shards[k].Origin, i)
 	}
 	return shards, nil
+}
+
+// warmTokens is the usable overlap between r's shared prefix and the
+// longest same-group prefix recorded in m.
+func warmTokens(m map[int]int, r workload.Request) int {
+	if r.PrefixLen <= 0 || m == nil {
+		return 0
+	}
+	return min(r.PrefixLen, r.InputLen, m[r.PrefixGroup])
 }
 
 // Result is the outcome of a fleet run.
@@ -180,6 +204,7 @@ func mergeReports(cfg core.Config, mode, policy string, results []*core.Result) 
 		rep.OutputTokens += rr.OutputTokens
 		rep.PhaseSwitches += rr.PhaseSwitches
 		rep.Recomputes += rr.Recomputes
+		rep.PrefixCachedTokens += rr.PrefixCachedTokens
 		if rr.Elapsed > rep.Elapsed {
 			rep.Elapsed = rr.Elapsed
 		}

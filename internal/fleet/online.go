@@ -114,7 +114,7 @@ func (ro *onlineRouter) route(r workload.Request, origin int) {
 	if ro.err != nil {
 		return
 	}
-	k := ro.policy.Pick(r, ro.loads())
+	k := ro.policy.Pick(r, ro.loads(r))
 	if k < 0 || k >= len(ro.engines) {
 		ro.err = fmt.Errorf("fleet: policy %q picked replica %d of %d", ro.policy.Name(), k, len(ro.engines))
 		return
@@ -128,11 +128,14 @@ func (ro *onlineRouter) route(r workload.Request, origin int) {
 	ro.shards[k].Origin = append(ro.shards[k].Origin, origin)
 }
 
-// loads snapshots each replica's outstanding work right now: requests
-// routed to it that have not finished, their input tokens, and the
-// policy's own cost estimates. Finished entries are dropped from the
-// ledger as they are discovered, so the scan stays amortized-linear.
-func (ro *onlineRouter) loads() []Load {
+// loads snapshots each replica's state for routing r right now: the
+// outstanding work (requests routed to it that have not finished,
+// their input tokens, the policy's own cost estimates) plus how much
+// of r's shared prefix is resident in the replica's KV pool — warm
+// blocks included, so affinity survives request completion. Finished
+// entries are dropped from the ledger as they are discovered, so the
+// scan stays amortized-linear.
+func (ro *onlineRouter) loads(r workload.Request) []Load {
 	loads := make([]Load, len(ro.engines))
 	for i := range ro.engines {
 		live := ro.ledger[i][:0]
@@ -147,6 +150,7 @@ func (ro *onlineRouter) loads() []Load {
 			l.CostTokens += entry.cost
 		}
 		ro.ledger[i] = live
+		l.WarmTokens = ro.engines[i].PrefixWarmTokens(r)
 		loads[i] = l
 	}
 	return loads

@@ -20,6 +20,12 @@ type Load struct {
 	// CostTokens accumulates the dispatching policy's own Cost
 	// estimates for the assigned requests.
 	CostTokens float64
+	// WarmTokens is how many tokens of the *current* request's shared
+	// prefix this replica already holds — live KV residency for the
+	// online router, assignment history for the offline pre-shard.
+	// Always 0 for requests without prefix structure; recomputed per
+	// request before Pick.
+	WarmTokens int
 }
 
 // Policy decides which replica receives each request of a trace.
@@ -101,6 +107,10 @@ const (
 	// total work, input plus the predictor's output-length estimate —
 	// the paper's key signal, applied to dispatch.
 	PredictedCost = "predicted-cost"
+	// PrefixAffinity routes to the replica with the warmest matching
+	// shared prefix (most reusable KV), falling back to least-work
+	// when no replica holds any of the request's prefix.
+	PrefixAffinity = "prefix-affinity"
 )
 
 func init() {
@@ -116,6 +126,7 @@ func init() {
 		}
 		return &predictedCost{pred: p}
 	})
+	Register(PrefixAffinity, func(Options) Policy { return prefixAffinity{} })
 }
 
 type roundRobin struct{ next int }
@@ -160,6 +171,32 @@ func (leastWork) Name() string { return LeastWork }
 func (leastWork) Pick(_ workload.Request, loads []Load) int { return argminCost(loads) }
 
 func (leastWork) Cost(r workload.Request) float64 { return float64(r.InputLen) }
+
+type prefixAffinity struct{}
+
+func (prefixAffinity) Name() string { return PrefixAffinity }
+
+// Pick chooses the replica holding the most of the request's shared
+// prefix; ties (including the all-cold case) resolve by least
+// accumulated cost, so unstructured traffic degrades to least-work.
+func (prefixAffinity) Pick(_ workload.Request, loads []Load) int {
+	best := 0
+	for i := 1; i < len(loads); i++ {
+		switch {
+		case loads[i].WarmTokens > loads[best].WarmTokens:
+			best = i
+		case loads[i].WarmTokens < loads[best].WarmTokens:
+		case loads[i].CostTokens < loads[best].CostTokens ||
+			(loads[i].CostTokens == loads[best].CostTokens && loads[i].Requests < loads[best].Requests):
+			best = i
+		}
+	}
+	return best
+}
+
+// Cost is the known prefill work, as in least-work; Pick's warmth
+// signal, not the cost estimate, carries the cache information.
+func (prefixAffinity) Cost(r workload.Request) float64 { return float64(r.InputLen) }
 
 type predictedCost struct{ pred core.LenPredictor }
 

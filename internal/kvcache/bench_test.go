@@ -50,3 +50,39 @@ func BenchmarkEvictMostRecent(b *testing.B) {
 		m.EvictMostRecent(512, nil)
 	}
 }
+
+// BenchmarkAllocateSharedHit measures the warm-chain admission path —
+// what a prefix-cache hit costs relative to a cold Allocate.
+func BenchmarkAllocateSharedHit(b *testing.B) {
+	m, err := NewManager(1<<24, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.AllocateShared(0, 512, 1, 512); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 1; i <= b.N; i++ {
+		if _, err := m.AllocateShared(i, 512, 1, 512); err != nil {
+			b.Fatal(err)
+		}
+		m.Free(i)
+	}
+}
+
+// BenchmarkMatchPrefix measures the router's warmth probe.
+func BenchmarkMatchPrefix(b *testing.B) {
+	m, err := NewManager(1<<24, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.AllocateShared(0, 1024, 1, 1024); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.MatchPrefix(1, 1024) != 1024 {
+			b.Fatal("cold probe")
+		}
+	}
+}

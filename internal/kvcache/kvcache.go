@@ -17,12 +17,28 @@ const DefaultBlockSize = 16
 // Manager tracks block allocations for a set of sequences against a
 // fixed capacity. It is not safe for concurrent use; in TD-Pipe only the
 // centralized engine touches it, which mirrors the paper's design.
+//
+// Beyond per-sequence private blocks, the manager supports ref-counted
+// shared prefix blocks (see sharing.go): a sequence may reference a
+// chain of shared blocks for its prompt prefix, paying for each shared
+// block only once across the sequences that reference it.
 type Manager struct {
 	blockSize int
 	capacity  int // blocks
 
-	used int // blocks
+	// used counts private blocks (summed over sequences) plus every
+	// resident shared block exactly once, warm or referenced.
+	used int
 	seqs map[int]seqAlloc
+
+	// shared holds resident shared blocks by hash-chained key; blocks
+	// whose refcount drops to zero stay resident ("warm") until
+	// reclaimed under memory pressure.
+	shared      map[uint64]*sharedBlock
+	reclaimable int // shared blocks with zero refs
+	touchSeq    int // LRU clock for shared-block reclaim
+	forkSeq     int // distinct keyspace for CoW-forked blocks
+	stats       ShareStats
 
 	// peak tracks the high-water mark in blocks.
 	peak int
@@ -31,13 +47,19 @@ type Manager struct {
 }
 
 type seqAlloc struct {
-	tokens  int
+	tokens int
+	// blocks counts the sequence's private blocks; shared prefix blocks
+	// are tracked by keys and counted once globally.
 	blocks  int
+	keys    []uint64
 	arrival int
 }
 
 // NewManager returns a manager with capacity for capacityTokens tokens
-// at the given block size (DefaultBlockSize if blockSize <= 0).
+// at the given block size (DefaultBlockSize if blockSize <= 0). The
+// capacity is rounded UP to whole blocks, so a capacity that is not a
+// multiple of the block size still admits every requested token rather
+// than silently truncating to the next-lower block boundary.
 func NewManager(capacityTokens, blockSize int) (*Manager, error) {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
@@ -47,9 +69,22 @@ func NewManager(capacityTokens, blockSize int) (*Manager, error) {
 	}
 	return &Manager{
 		blockSize: blockSize,
-		capacity:  capacityTokens / blockSize,
+		capacity:  (capacityTokens + blockSize - 1) / blockSize,
 		seqs:      make(map[int]seqAlloc),
+		shared:    make(map[uint64]*sharedBlock),
 	}, nil
+}
+
+// AlignTokens floors tokens to a whole-block multiple of blockSize
+// (DefaultBlockSize if blockSize <= 0). Callers that derived a token
+// budget from raw bytes pass their capacity through this to keep the
+// pre-rounding block count now that NewManager rounds up instead of
+// silently truncating.
+func AlignTokens(tokens, blockSize int) int {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return tokens - tokens%blockSize
 }
 
 // NewManagerBytes sizes the pool from available bytes and per-token KV
@@ -101,12 +136,14 @@ func (m *Manager) BlocksFor(tokens int) int {
 	return (tokens + m.blockSize - 1) / m.blockSize
 }
 
-// CanAllocate reports whether a new sequence of tokens tokens fits.
+// CanAllocate reports whether a new sequence of tokens tokens fits,
+// counting warm shared blocks as reclaimable space.
 func (m *Manager) CanAllocate(tokens int) bool {
-	return m.BlocksFor(tokens) <= m.FreeBlocks()
+	return m.BlocksFor(tokens) <= m.FreeBlocks()+m.reclaimable
 }
 
-// Allocate reserves blocks for a new sequence.
+// Allocate reserves blocks for a new sequence, reclaiming warm shared
+// blocks if the free pool alone is too small.
 func (m *Manager) Allocate(id, tokens int) error {
 	if tokens <= 0 {
 		return fmt.Errorf("kvcache: allocate %d tokens", tokens)
@@ -115,6 +152,9 @@ func (m *Manager) Allocate(id, tokens int) error {
 		return fmt.Errorf("kvcache: sequence %d already allocated", id)
 	}
 	need := m.BlocksFor(tokens)
+	if need > m.FreeBlocks() {
+		m.reclaim(need - m.FreeBlocks())
+	}
 	if need > m.FreeBlocks() {
 		return fmt.Errorf("kvcache: out of memory: need %d blocks, free %d", need, m.FreeBlocks())
 	}
@@ -127,16 +167,46 @@ func (m *Manager) Allocate(id, tokens int) error {
 	return nil
 }
 
-// CanAppend reports whether sequence id can grow by n tokens.
+// appendPlan sizes growing s by n tokens: how the (possibly shared,
+// possibly partial) tail block is handled, the resulting private block
+// count, and the net new blocks required. A partial shared tail exists
+// iff all blocks are shared and the last one is not full; appending
+// writes into it, triggering copy-on-write (cow: other sequences still
+// reference it) or adoption in place (adopt: sole owner).
+func (m *Manager) appendPlan(s seqAlloc, n int) (keyCount, newPriv, grow int, cow, adopt bool) {
+	keyCount = len(s.keys)
+	if s.blocks == 0 && keyCount > 0 && s.tokens%m.blockSize != 0 {
+		if m.shared[s.keys[keyCount-1]].refs > 1 {
+			cow = true
+		} else {
+			adopt = true
+		}
+		keyCount--
+	}
+	newPriv = m.BlocksFor(s.tokens+n) - keyCount
+	grow = newPriv - s.blocks
+	if adopt {
+		grow-- // the adopted block converts in place, shared -> private
+	}
+	return keyCount, newPriv, grow, cow, adopt
+}
+
+// CanAppend reports whether sequence id can grow by n tokens,
+// including any copy-on-write block the growth would take.
 func (m *Manager) CanAppend(id, n int) bool {
 	s, ok := m.seqs[id]
 	if !ok {
 		return false
 	}
-	return m.BlocksFor(s.tokens+n)-s.blocks <= m.FreeBlocks()
+	_, _, grow, _, _ := m.appendPlan(s, n)
+	return grow <= m.FreeBlocks()+m.reclaimable
 }
 
 // Append grows sequence id by n tokens, taking new blocks as needed.
+// If the sequence's last block is a shared partial block (a CoW fork),
+// the write triggers copy-on-write: the block is copied into a private
+// block when other sequences still reference it, or adopted in place
+// when this sequence is the sole owner.
 func (m *Manager) Append(id, n int) error {
 	s, ok := m.seqs[id]
 	if !ok {
@@ -145,13 +215,26 @@ func (m *Manager) Append(id, n int) error {
 	if n <= 0 {
 		return fmt.Errorf("kvcache: append %d tokens", n)
 	}
-	newBlocks := m.BlocksFor(s.tokens + n)
-	grow := newBlocks - s.blocks
+	keyCount, newPriv, grow, cow, adopt := m.appendPlan(s, n)
+	if grow > m.FreeBlocks() {
+		m.reclaim(grow - m.FreeBlocks())
+	}
 	if grow > m.FreeBlocks() {
 		return fmt.Errorf("kvcache: out of memory growing sequence %d: need %d blocks, free %d", id, grow, m.FreeBlocks())
 	}
+	if cow || adopt {
+		k := s.keys[keyCount]
+		b := m.shared[k]
+		if cow {
+			b.refs--
+			m.stats.CoWCopies++
+		} else {
+			delete(m.shared, k)
+		}
+		s.keys = s.keys[:keyCount]
+	}
 	s.tokens += n
-	s.blocks = newBlocks
+	s.blocks = newPriv
 	m.seqs[id] = s
 	m.used += grow
 	if m.used > m.peak {
@@ -160,14 +243,24 @@ func (m *Manager) Append(id, n int) error {
 	return nil
 }
 
-// Free releases sequence id's blocks. Freeing an absent id is a no-op,
-// matching allocator conventions.
+// Free releases sequence id's private blocks and drops its references
+// on shared blocks. Shared blocks still referenced by other sequences
+// stay; blocks whose refcount reaches zero stay resident as warm cache
+// until reclaimed under pressure. Freeing an absent id is a no-op,
+// matching allocator conventions (a double free drops no refs twice).
 func (m *Manager) Free(id int) {
 	s, ok := m.seqs[id]
 	if !ok {
 		return
 	}
 	m.used -= s.blocks
+	for _, k := range s.keys {
+		b := m.shared[k]
+		b.refs--
+		if b.refs == 0 {
+			m.reclaimable++
+		}
+	}
 	delete(m.seqs, id)
 }
 
@@ -177,6 +270,11 @@ func (m *Manager) Free(id int) {
 // recently arrived requests will be freed once memory capacity is
 // saturated". It never evicts ids in keep.
 func (m *Manager) EvictMostRecent(needBlocks int, keep map[int]bool) []int {
+	// Warm shared blocks are the cheapest space: reclaim them before
+	// evicting any live sequence (no recompute needed to restore them).
+	if m.FreeBlocks() < needBlocks {
+		m.reclaim(needBlocks - m.FreeBlocks())
+	}
 	if m.FreeBlocks() >= needBlocks {
 		return nil
 	}
@@ -195,6 +293,11 @@ func (m *Manager) EvictMostRecent(needBlocks int, keep map[int]bool) []int {
 			break
 		}
 		m.Free(c.id)
+		// Freeing a sharing sequence may only have dropped refs; turn
+		// any now-warm blocks into free space before evicting more.
+		if m.FreeBlocks() < needBlocks {
+			m.reclaim(needBlocks - m.FreeBlocks())
+		}
 		evicted = append(evicted, c.id)
 	}
 	return evicted
@@ -205,7 +308,7 @@ func (m *Manager) EvictMostRecent(needBlocks int, keep map[int]bool) []int {
 func (m *Manager) Snapshot() []SeqInfo {
 	out := make([]SeqInfo, 0, len(m.seqs))
 	for id, s := range m.seqs {
-		out = append(out, SeqInfo{ID: id, Tokens: s.tokens, Blocks: s.blocks})
+		out = append(out, SeqInfo{ID: id, Tokens: s.tokens, Blocks: s.blocks + len(s.keys), Shared: len(s.keys)})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -215,5 +318,8 @@ func (m *Manager) Snapshot() []SeqInfo {
 type SeqInfo struct {
 	ID     int
 	Tokens int
+	// Blocks is the total block footprint; Shared of them are
+	// ref-counted shared prefix blocks (counted once fleet-wide).
 	Blocks int
+	Shared int
 }

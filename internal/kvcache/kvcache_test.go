@@ -23,8 +23,13 @@ func TestNewManagerValidation(t *testing.T) {
 	if m.BlockSize() != DefaultBlockSize {
 		t.Errorf("default block size = %d", m.BlockSize())
 	}
-	if m.CapacityBlocks() != 1000/16 {
-		t.Errorf("capacity blocks = %d", m.CapacityBlocks())
+	// 1000 tokens round UP to 63 blocks: a capacity not divisible by
+	// the block size must not silently drop the remainder.
+	if m.CapacityBlocks() != 63 {
+		t.Errorf("capacity blocks = %d, want 63 (rounded up)", m.CapacityBlocks())
+	}
+	if m.CapacityTokens() != 63*16 {
+		t.Errorf("capacity tokens = %d, want %d", m.CapacityTokens(), 63*16)
 	}
 }
 

@@ -1,0 +1,285 @@
+package kvcache
+
+// Prefix sharing: PagedAttention-style ref-counted block reuse behind a
+// prefix trie of hash-chained block keys.
+//
+// Requests that open with the same shared prefix (system prompt,
+// conversation history) map their first full blocks to the same chain
+// of keys: key_i = mix(key_{i-1}, i), rooted at the prefix group. The
+// chain IS the trie — looking up a prefix walks keys from the root and
+// stops at the first miss, so a longer conversation extends a shorter
+// one's chain instead of duplicating it. Each resident shared block is
+// counted once in the pool no matter how many sequences reference it;
+// blocks whose refcount drops to zero stay resident ("warm") and are
+// reclaimed LRU, chain tails first, only under memory pressure.
+//
+// Copy-on-write: only full blocks are shared between prefix groups, so
+// decode appends never write a group-shared block. Fork clones a whole
+// sequence zero-copy (multi-turn conversation branching); the clone's
+// partial tail block stays shared until one side appends, which copies
+// it (refs > 1) or adopts it in place (sole owner) — see Append.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sharedBlock is one resident ref-counted block.
+type sharedBlock struct {
+	refs    int
+	lastUse int // touchSeq stamp; LRU order for reclaiming warm blocks
+}
+
+// ShareStats counts prefix-sharing traffic since the manager was built.
+type ShareStats struct {
+	// HitBlocks/MissBlocks count shared-prefix blocks found resident
+	// vs. newly inserted at allocation time.
+	HitBlocks, MissBlocks int
+	// ReclaimedBlocks counts warm blocks dropped under memory pressure.
+	ReclaimedBlocks int
+	// CoWCopies counts copy-on-write block copies taken on append.
+	CoWCopies int
+}
+
+// Stats returns the sharing counters.
+func (m *Manager) Stats() ShareStats { return m.stats }
+
+// SharedBlocks returns the number of resident shared blocks.
+func (m *Manager) SharedBlocks() int { return len(m.shared) }
+
+// WarmBlocks returns resident shared blocks no live sequence references.
+func (m *Manager) WarmBlocks() int { return m.reclaimable }
+
+// chainKeys returns the hash-chained keys of the first n full blocks of
+// group's shared prefix: a splitmix-style chain rooted at the group id,
+// so equal (group, block index) pairs collide on purpose and everything
+// else does not (up to 64-bit hashing).
+func chainKeys(group, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	keys := make([]uint64, n)
+	h := uint64(group)*0x9E3779B97F4A7C15 + 0x85EBCA77C2B2AE63
+	for i := range keys {
+		h += uint64(i) + 0x9E3779B97F4A7C15
+		h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+		h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+		h ^= h >> 31
+		keys[i] = h
+	}
+	return keys
+}
+
+// forkKey returns a fresh key for a block promoted to shared by Fork.
+func (m *Manager) forkKey() uint64 {
+	m.forkSeq++
+	h := uint64(m.forkSeq)*0xD6E8FEB86659FD93 + 0xA0761D6478BD642F
+	h = (h ^ (h >> 32)) * 0xE7037ED1A0B428DB
+	return h ^ (h >> 29)
+}
+
+// touch advances the LRU clock and returns the new stamp.
+func (m *Manager) touch() int {
+	m.touchSeq++
+	return m.touchSeq
+}
+
+// MatchPrefix returns how many tokens of the first prefixTokens tokens
+// of group's shared prefix are resident right now — the longest warm or
+// referenced chain walk from the root, in whole blocks. This is the
+// signal cache-affinity dispatch reads and the prefill skip the engine
+// applies.
+func (m *Manager) MatchPrefix(group, prefixTokens int) int {
+	n := prefixTokens / m.blockSize
+	hit := 0
+	for _, k := range chainKeys(group, n) {
+		if _, ok := m.shared[k]; !ok {
+			break
+		}
+		hit++
+	}
+	return hit * m.blockSize
+}
+
+// sharedPlan sizes an AllocateShared call: the chain keys, which are
+// resident, how many blocks must be newly taken, and the contiguous hit
+// length in tokens.
+type sharedPlan struct {
+	keys      []uint64
+	resident  []bool
+	newBlocks int // missing chain blocks + private blocks
+	hitTokens int
+	hitBlocks int
+}
+
+func (m *Manager) planShared(tokens, group, prefixTokens int) sharedPlan {
+	if prefixTokens > tokens {
+		prefixTokens = tokens
+	}
+	if prefixTokens < 0 {
+		prefixTokens = 0
+	}
+	n := prefixTokens / m.blockSize
+	p := sharedPlan{keys: chainKeys(group, n), resident: make([]bool, n)}
+	contig := n
+	missing := 0
+	for i, k := range p.keys {
+		if _, ok := m.shared[k]; ok {
+			p.resident[i] = true
+			p.hitBlocks++
+		} else {
+			missing++
+			if i < contig {
+				contig = i
+			}
+		}
+	}
+	// Only a contiguous chain from the root skips prefill work: KV for
+	// position t needs every earlier position resident too.
+	p.hitTokens = contig * m.blockSize
+	p.newBlocks = missing + m.BlocksFor(tokens) - n
+	return p
+}
+
+// CanAllocateShared reports whether a new sequence of tokens tokens
+// whose first prefixTokens tokens belong to group's shared prefix fits,
+// counting resident chain blocks as already paid for and warm blocks as
+// reclaimable.
+func (m *Manager) CanAllocateShared(tokens, group, prefixTokens int) bool {
+	return m.planShared(tokens, group, prefixTokens).newBlocks <= m.FreeBlocks()+m.reclaimable
+}
+
+// AllocateShared reserves blocks for a new sequence whose first
+// prefixTokens tokens are group's shared prefix. Resident chain blocks
+// are referenced instead of re-allocated; missing ones are inserted
+// (ref 1) so later sequences hit them. It returns the contiguous hit
+// length in tokens — prefill work the caller may skip.
+func (m *Manager) AllocateShared(id, tokens, group, prefixTokens int) (int, error) {
+	if tokens <= 0 {
+		return 0, fmt.Errorf("kvcache: allocate %d tokens", tokens)
+	}
+	if m.Has(id) {
+		return 0, fmt.Errorf("kvcache: sequence %d already allocated", id)
+	}
+	p := m.planShared(tokens, group, prefixTokens)
+	// Reference resident chain blocks first so reclaim cannot drop them
+	// while making room for the rest.
+	for i, k := range p.keys {
+		if !p.resident[i] {
+			continue
+		}
+		b := m.shared[k]
+		b.refs++
+		if b.refs == 1 {
+			m.reclaimable--
+		}
+	}
+	if p.newBlocks > m.FreeBlocks() {
+		m.reclaim(p.newBlocks - m.FreeBlocks())
+	}
+	if p.newBlocks > m.FreeBlocks() {
+		for i, k := range p.keys { // roll the references back
+			if !p.resident[i] {
+				continue
+			}
+			b := m.shared[k]
+			b.refs--
+			if b.refs == 0 {
+				m.reclaimable++
+			}
+		}
+		return 0, fmt.Errorf("kvcache: out of memory: need %d blocks, free %d", p.newBlocks, m.FreeBlocks())
+	}
+	for i, k := range p.keys {
+		if !p.resident[i] {
+			m.shared[k] = &sharedBlock{refs: 1}
+			m.used++
+		}
+	}
+	// Touch tail-first so LRU reclaim drops chain tails before roots,
+	// keeping surviving chains contiguous (and so hittable).
+	for i := len(p.keys) - 1; i >= 0; i-- {
+		m.shared[p.keys[i]].lastUse = m.touch()
+	}
+	priv := m.BlocksFor(tokens) - len(p.keys)
+	m.allocSeq++
+	m.seqs[id] = seqAlloc{tokens: tokens, blocks: priv, keys: p.keys, arrival: m.allocSeq}
+	m.used += priv
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	m.stats.HitBlocks += p.hitBlocks
+	m.stats.MissBlocks += len(p.keys) - p.hitBlocks
+	return p.hitTokens, nil
+}
+
+// Fork clones parent's cache for child zero-copy: every block of the
+// parent becomes shared between the two, private blocks are promoted to
+// ref-counted shared blocks in place, and the first append to the
+// (possibly partial) tail block triggers copy-on-write in Append. The
+// child starts with the parent's token count and no private blocks.
+func (m *Manager) Fork(parentID, childID int) error {
+	p, ok := m.seqs[parentID]
+	if !ok {
+		return fmt.Errorf("kvcache: fork of unknown sequence %d", parentID)
+	}
+	if m.Has(childID) {
+		return fmt.Errorf("kvcache: sequence %d already allocated", childID)
+	}
+	for _, k := range p.keys {
+		b := m.shared[k]
+		b.refs++
+		if b.refs == 1 {
+			m.reclaimable--
+		}
+	}
+	all := append([]uint64(nil), p.keys...)
+	for i := 0; i < p.blocks; i++ {
+		k := m.forkKey()
+		m.shared[k] = &sharedBlock{refs: 2}
+		all = append(all, k)
+	}
+	for i := len(all) - 1; i >= 0; i-- {
+		m.shared[all[i]].lastUse = m.touch()
+	}
+	// used is unchanged: p.blocks private blocks became p.blocks shared
+	// blocks, each still counted once.
+	p.blocks = 0
+	p.keys = all
+	m.seqs[parentID] = p
+	m.allocSeq++
+	m.seqs[childID] = seqAlloc{tokens: p.tokens, keys: append([]uint64(nil), all...), arrival: m.allocSeq}
+	return nil
+}
+
+// reclaim drops up to need warm shared blocks (refs == 0), least
+// recently used first, turning cached-but-unreferenced memory back into
+// free blocks.
+func (m *Manager) reclaim(need int) {
+	if need <= 0 || m.reclaimable == 0 {
+		return
+	}
+	type cand struct {
+		key     uint64
+		lastUse int
+	}
+	cands := make([]cand, 0, m.reclaimable)
+	for k, b := range m.shared {
+		if b.refs == 0 {
+			cands = append(cands, cand{k, b.lastUse})
+		}
+	}
+	// lastUse stamps are unique (one touch per block event), so the
+	// order — and therefore the whole simulation — is deterministic.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUse < cands[j].lastUse })
+	for _, c := range cands {
+		if need <= 0 {
+			break
+		}
+		delete(m.shared, c.key)
+		m.used--
+		m.reclaimable--
+		m.stats.ReclaimedBlocks++
+		need--
+	}
+}

@@ -194,6 +194,11 @@ type Report struct {
 	Recomputes int
 	// KVPeakUsage is the high-water KV occupancy ratio.
 	KVPeakUsage float64
+	// PrefixCachedTokens counts prompt tokens whose prefill was
+	// skipped because their KV was already resident in shared prefix
+	// blocks (0 unless the trace carries prefix structure and the
+	// engine has sharing enabled).
+	PrefixCachedTokens int
 
 	// Latency digests per-request records: TTFT/TPOT/E2E percentiles
 	// and goodput under the run's SLO. Under instantaneous arrivals
@@ -209,6 +214,16 @@ func (r Report) OutputThroughput() float64 {
 		return 0
 	}
 	return float64(r.OutputTokens) / r.Elapsed
+}
+
+// PrefixHitRate returns the fraction of prompt tokens served from
+// shared prefix KV instead of being prefilled (0 when no sharing
+// happened or no input was processed).
+func (r Report) PrefixHitRate() float64 {
+	if r.InputTokens <= 0 {
+		return 0
+	}
+	return float64(r.PrefixCachedTokens) / float64(r.InputTokens)
 }
 
 // TotalThroughput returns processed (input+output) tokens per second.

@@ -1,0 +1,122 @@
+package workload
+
+// Prefix structure: real serving traffic rarely consists of unrelated
+// prompts. Requests share system prompts, few-shot templates and
+// multi-turn conversation history — exactly the redundancy
+// PagedAttention-style prefix caching exploits. StampPrefixes overlays
+// that structure on a generated trace: requests are assigned to prefix
+// groups (one group = one shared system prompt / conversation), and
+// within a group successive requests are conversation turns whose
+// shared prefix grows as the dialogue accumulates.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PrefixConfig controls the shared-prefix structure stamped on a trace.
+type PrefixConfig struct {
+	// Groups is the number of distinct shared prefixes (system prompts
+	// or conversations). Fewer groups mean more sharing.
+	Groups int
+	// PrefixLen is the mean base prefix length in tokens; each group
+	// draws its own base uniformly from [PrefixLen/2, 3*PrefixLen/2).
+	PrefixLen int
+	// Turns is the conversation depth: the t-th request of a group
+	// (t < Turns) extends the shared prefix by t half-bases, modeling
+	// history accumulated over turns. 1 means a static shared prompt.
+	Turns int
+	// Seed makes group assignment and base lengths reproducible.
+	Seed int64
+}
+
+// DefaultPrefixConfig returns a chat-serving-like structure: a moderate
+// number of conversations with multi-turn history growth.
+func DefaultPrefixConfig(groups int, prefixLen int, seed int64) PrefixConfig {
+	return PrefixConfig{Groups: groups, PrefixLen: prefixLen, Turns: 4, Seed: seed}
+}
+
+// Validate reports a configuration error, if any.
+func (c PrefixConfig) Validate() error {
+	switch {
+	case c.Groups <= 0:
+		return fmt.Errorf("workload: prefix Groups = %d", c.Groups)
+	case c.PrefixLen <= 0:
+		return fmt.Errorf("workload: PrefixLen = %d", c.PrefixLen)
+	case c.Turns <= 0:
+		return fmt.Errorf("workload: prefix Turns = %d", c.Turns)
+	}
+	return nil
+}
+
+// StampPrefixes returns a copy of reqs carrying shared-prefix
+// structure: each request joins a seeded-random group and its prompt is
+// extended in front by the group's shared prefix (base plus per-turn
+// growth), so InputLen = PrefixLen + the original unique prompt. IDs,
+// arrival times and everything else are preserved — stamping composes
+// with StampArrivals in either order. The input slice is not modified.
+func StampPrefixes(reqs []Request, cfg PrefixConfig) ([]Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bases := make([]int, cfg.Groups)
+	for g := range bases {
+		bases[g] = cfg.PrefixLen/2 + rng.Intn(cfg.PrefixLen)
+		if bases[g] < 1 {
+			bases[g] = 1
+		}
+	}
+	turn := make([]int, cfg.Groups)
+	out := append([]Request(nil), reqs...)
+	for i := range out {
+		g := rng.Intn(cfg.Groups)
+		t := turn[g]
+		if t < cfg.Turns-1 {
+			turn[g]++
+		}
+		plen := bases[g] + t*(bases[g]/2+1)
+		out[i].PrefixGroup = g
+		out[i].PrefixLen = plen
+		out[i].InputLen += plen
+	}
+	return out, nil
+}
+
+// HasPrefixes reports whether any request carries shared-prefix
+// structure.
+func HasPrefixes(reqs []Request) bool {
+	for _, r := range reqs {
+		if r.PrefixLen > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StripPrefixes returns a copy of reqs with the prefix structure
+// removed but prompt lengths kept — the same physical workload with KV
+// reuse made impossible, the no-sharing control for ablations.
+func StripPrefixes(reqs []Request) []Request {
+	out := append([]Request(nil), reqs...)
+	for i := range out {
+		out[i].PrefixGroup = 0
+		out[i].PrefixLen = 0
+	}
+	return out
+}
+
+// PrefixShare returns the fraction of trace input tokens covered by
+// shared prefixes — the upper bound on prefill work a perfect cache
+// could skip (less one cold pass per group).
+func PrefixShare(reqs []Request) float64 {
+	var total, shared int
+	for _, r := range reqs {
+		total += r.InputLen
+		shared += r.PrefixLen
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(shared) / float64(total)
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func stampedTrace(t *testing.T, n int, cfg PrefixConfig) ([]Request, []Request) {
+	t.Helper()
+	base := MustGenerate(DefaultConfig(n, 11))
+	out, err := StampPrefixes(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, out
+}
+
+func TestStampPrefixesDeterministicAndStructured(t *testing.T) {
+	cfg := DefaultPrefixConfig(8, 256, 5)
+	base, out := stampedTrace(t, 400, cfg)
+	again, err := StampPrefixes(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, again) {
+		t.Fatal("stamping is not deterministic for a seed")
+	}
+	if !HasPrefixes(out) || HasPrefixes(base) {
+		t.Fatal("HasPrefixes wrong before/after stamping")
+	}
+	groups := map[int]int{}
+	for i, r := range out {
+		if r.ID != base[i].ID || r.OutputLen != base[i].OutputLen || r.ArrivalTime != base[i].ArrivalTime {
+			t.Fatalf("request %d: stamping changed non-prefix fields", i)
+		}
+		if r.PrefixLen <= 0 || r.PrefixLen >= r.InputLen {
+			t.Fatalf("request %d: prefix %d of input %d", i, r.PrefixLen, r.InputLen)
+		}
+		if r.InputLen != base[i].InputLen+r.PrefixLen {
+			t.Fatalf("request %d: input %d != original %d + prefix %d", i, r.InputLen, base[i].InputLen, r.PrefixLen)
+		}
+		if r.PrefixGroup < 0 || r.PrefixGroup >= cfg.Groups {
+			t.Fatalf("request %d: group %d of %d", i, r.PrefixGroup, cfg.Groups)
+		}
+		groups[r.PrefixGroup]++
+	}
+	if len(groups) < cfg.Groups/2 {
+		t.Errorf("only %d of %d groups used", len(groups), cfg.Groups)
+	}
+	if s := PrefixShare(out); s <= 0 || s >= 1 {
+		t.Errorf("prefix share = %v, want in (0,1)", s)
+	}
+}
+
+// Within a group the shared prefix grows monotonically with turns and
+// saturates at the configured depth, so later turns re-walk (and
+// extend) the earlier turns' block chain.
+func TestStampPrefixesTurnGrowth(t *testing.T) {
+	cfg := PrefixConfig{Groups: 2, PrefixLen: 128, Turns: 3, Seed: 9}
+	_, out := stampedTrace(t, 200, cfg)
+	last := map[int]int{}
+	distinct := map[int]map[int]bool{}
+	for _, r := range out {
+		if r.PrefixLen < last[r.PrefixGroup] {
+			t.Fatalf("group %d prefix shrank: %d -> %d", r.PrefixGroup, last[r.PrefixGroup], r.PrefixLen)
+		}
+		last[r.PrefixGroup] = r.PrefixLen
+		if distinct[r.PrefixGroup] == nil {
+			distinct[r.PrefixGroup] = map[int]bool{}
+		}
+		distinct[r.PrefixGroup][r.PrefixLen] = true
+	}
+	for g, set := range distinct {
+		if len(set) != cfg.Turns {
+			t.Errorf("group %d saw %d distinct prefix lengths, want %d", g, len(set), cfg.Turns)
+		}
+	}
+}
+
+func TestStampPrefixesComposesWithArrivals(t *testing.T) {
+	base := MustGenerate(DefaultConfig(100, 3))
+	stamped := StampArrivals(base, Poisson{Rate: 5}, 7)
+	out, err := StampPrefixes(stamped, DefaultPrefixConfig(4, 64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i].ArrivalTime != stamped[i].ArrivalTime {
+			t.Fatalf("request %d: arrival changed by prefix stamping", i)
+		}
+	}
+	if HasArrivals(out) != true {
+		t.Error("arrival structure lost")
+	}
+}
+
+func TestStripPrefixes(t *testing.T) {
+	_, out := stampedTrace(t, 50, DefaultPrefixConfig(4, 128, 1))
+	bare := StripPrefixes(out)
+	if HasPrefixes(bare) {
+		t.Fatal("StripPrefixes left prefix structure")
+	}
+	for i := range bare {
+		if bare[i].InputLen != out[i].InputLen || bare[i].OutputLen != out[i].OutputLen {
+			t.Fatalf("request %d: StripPrefixes changed lengths", i)
+		}
+	}
+}
+
+func TestPrefixConfigValidate(t *testing.T) {
+	for _, cfg := range []PrefixConfig{
+		{Groups: 0, PrefixLen: 10, Turns: 1},
+		{Groups: 1, PrefixLen: 0, Turns: 1},
+		{Groups: 1, PrefixLen: 10, Turns: 0},
+	} {
+		if _, err := StampPrefixes(nil, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -36,6 +36,15 @@ type Request struct {
 	// from the start — the offline-batch regime. Stamp arrival times
 	// with an ArrivalProcess for open-loop online serving.
 	ArrivalTime float64
+	// PrefixGroup identifies the shared prefix (system prompt or
+	// conversation) this request opens with; meaningful only when
+	// PrefixLen > 0. Stamp with StampPrefixes.
+	PrefixGroup int
+	// PrefixLen is how many leading tokens of InputLen are the group's
+	// shared prefix. Zero (the generator default) means the prompt is
+	// unique — no KV reuse is possible and engines behave exactly as
+	// they do for unstructured traces.
+	PrefixLen int
 }
 
 // TotalLen returns input + output tokens.

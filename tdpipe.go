@@ -48,6 +48,9 @@ type (
 	ArrivalProcess = workload.ArrivalProcess
 	// ArrivalConfig selects an arrival process by name (flag-friendly).
 	ArrivalConfig = workload.ArrivalConfig
+	// PrefixConfig describes shared-prefix trace structure (system
+	// prompts, multi-turn conversations) for StampPrefixes.
+	PrefixConfig = workload.PrefixConfig
 	// SLO is a latency objective (TTFT/TPOT/E2E bounds) for goodput.
 	SLO = metrics.SLO
 	// LatencyDigest summarizes per-request latency percentiles.
@@ -106,6 +109,19 @@ func StampArrivals(reqs []Request, cfg ArrivalConfig) ([]Request, error) {
 // arrives after t=0).
 func HasArrivals(reqs []Request) bool { return workload.HasArrivals(reqs) }
 
+// StampPrefixes returns a copy of reqs carrying shared-prefix
+// structure: each request joins a prefix group whose leading tokens
+// are shared, so engines can reuse resident KV and skip the cached
+// prefill work. Composes with StampArrivals in either order; unstamped
+// traces behave exactly as before.
+func StampPrefixes(reqs []Request, cfg PrefixConfig) ([]Request, error) {
+	return workload.StampPrefixes(reqs, cfg)
+}
+
+// HasPrefixes reports whether the trace carries shared-prefix
+// structure.
+func HasPrefixes(reqs []Request) bool { return workload.HasPrefixes(reqs) }
+
 // NewConfig returns a paper-faithful TD-Pipe configuration for world
 // GPUs of the node running the model. The default predictor is the
 // oracle; install a trained classifier for realistic behaviour.
@@ -130,10 +146,11 @@ type (
 
 // Built-in fleet dispatch policies.
 const (
-	FleetRoundRobin    = fleet.RoundRobin
-	FleetRandom        = fleet.Random
-	FleetLeastWork     = fleet.LeastWork
-	FleetPredictedCost = fleet.PredictedCost
+	FleetRoundRobin     = fleet.RoundRobin
+	FleetRandom         = fleet.Random
+	FleetLeastWork      = fleet.LeastWork
+	FleetPredictedCost  = fleet.PredictedCost
+	FleetPrefixAffinity = fleet.PrefixAffinity
 )
 
 // FleetPolicies lists the registered dispatch policies.
