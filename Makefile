@@ -7,7 +7,7 @@ FUZZTIME ?= 30s
 # artifacts accumulate into a perf trajectory).
 BENCH_N ?= local
 
-.PHONY: build vet fmt-check test race bench bench-json fuzz ci
+.PHONY: build vet fmt-check test race bench bench-json bench-compare fuzz ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,15 @@ bench-json:
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(BENCH_N).json
 	@rm -f bench.out
 	@echo wrote BENCH_$(BENCH_N).json
+
+# Advisory perf gate: diff two bench-json snapshots and fail on a >15%
+# ns/op regression (override with THRESHOLD). CI runs this with the
+# merge-base snapshot as OLD.
+OLD ?= BENCH_base.json
+NEW ?= BENCH_local.json
+THRESHOLD ?= 15
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) $(OLD) $(NEW)
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGenerateSplitInvariants -fuzztime=$(FUZZTIME) ./internal/workload/

@@ -33,6 +33,7 @@ func getBenchEnv(b *testing.B) *experiments.Env {
 
 // BenchmarkTable1GPUs regenerates the hardware catalog (paper Table 1).
 func BenchmarkTable1GPUs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if experiments.FormatTable1() == "" {
 			b.Fatal("empty table")
@@ -42,6 +43,7 @@ func BenchmarkTable1GPUs(b *testing.B) {
 
 // BenchmarkTable2Models regenerates the model catalog (paper Table 2).
 func BenchmarkTable2Models(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if experiments.FormatTable2() == "" {
 			b.Fatal("empty table")
@@ -52,6 +54,7 @@ func BenchmarkTable2Models(b *testing.B) {
 // BenchmarkFig2Utilization regenerates the utilization-timeline
 // comparison (paper Fig. 2) and reports both means.
 func BenchmarkFig2Utilization(b *testing.B) {
+	b.ReportAllocs()
 	env := getBenchEnv(b)
 	var r *experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
@@ -68,6 +71,7 @@ func BenchmarkFig2Utilization(b *testing.B) {
 // BenchmarkFig6TPBreakdown regenerates the TP prefill compute/comm
 // breakdown (paper Fig. 6) and reports the 4-GPU communication shares.
 func BenchmarkFig6TPBreakdown(b *testing.B) {
+	b.ReportAllocs()
 	env := getBenchEnv(b)
 	var rows []experiments.Fig6Row
 	for i := 0; i < b.N; i++ {
@@ -88,6 +92,7 @@ func BenchmarkFig6TPBreakdown(b *testing.B) {
 // Fig. 11) and reports TD-Pipe's best speedups over TP+SB and PP+SB at
 // 4 GPUs.
 func BenchmarkFig11Overall(b *testing.B) {
+	b.ReportAllocs()
 	env := getBenchEnv(b)
 	var cells []experiments.Fig11Cell
 	for i := 0; i < b.N; i++ {
@@ -120,6 +125,7 @@ func BenchmarkFig11Overall(b *testing.B) {
 // BenchmarkFig12KVUsage regenerates the KV fluctuation trace (paper
 // Fig. 12) and reports peak usage and phase switches.
 func BenchmarkFig12KVUsage(b *testing.B) {
+	b.ReportAllocs()
 	env := getBenchEnv(b)
 	var r *experiments.Fig12Result
 	for i := 0; i < b.N; i++ {
@@ -136,6 +142,7 @@ func BenchmarkFig12KVUsage(b *testing.B) {
 // BenchmarkFig13GreedyPrefill regenerates the prefill-to-decode
 // switching ablation (paper Fig. 13).
 func BenchmarkFig13GreedyPrefill(b *testing.B) {
+	b.ReportAllocs()
 	env := getBenchEnv(b)
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
@@ -151,6 +158,7 @@ func BenchmarkFig13GreedyPrefill(b *testing.B) {
 // BenchmarkFig14Predictor regenerates the prediction-quality study
 // (paper Fig. 14 and §4.4.1 accuracies).
 func BenchmarkFig14Predictor(b *testing.B) {
+	b.ReportAllocs()
 	env := getBenchEnv(b)
 	var r *experiments.Fig14Result
 	for i := 0; i < b.N; i++ {
@@ -172,6 +180,7 @@ func BenchmarkFig14Predictor(b *testing.B) {
 // BenchmarkFig15WorkStealing regenerates the stealing ablation (paper
 // Fig. 15) and reports the wi/wo gain.
 func BenchmarkFig15WorkStealing(b *testing.B) {
+	b.ReportAllocs()
 	env := getBenchEnv(b)
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
@@ -197,6 +206,7 @@ func BenchmarkFig15WorkStealing(b *testing.B) {
 // BenchmarkFig16IntensitySwitch regenerates the decode-to-prefill
 // switching ablation (paper Fig. 16).
 func BenchmarkFig16IntensitySwitch(b *testing.B) {
+	b.ReportAllocs()
 	env := getBenchEnv(b)
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {

@@ -6,19 +6,28 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' ./... | benchjson > BENCH_1.json
+//	benchjson -compare old.json new.json
+//	benchjson -compare -threshold 10 old.json new.json
 //
-// The output maps benchmark name (GOMAXPROCS suffix stripped) to its
+// The snapshot maps benchmark name (GOMAXPROCS suffix stripped) to its
 // metrics:
 //
 //	{"benchmarks": {"BenchmarkOnlineFleet": {"ns_per_op": 123456,
 //	  "bytes_per_op": 7890, "allocs_per_op": 12}}}
+//
+// In -compare mode the two snapshots are diffed per benchmark and the
+// exit status is non-zero when any shared benchmark regresses more
+// than -threshold percent in ns/op — the advisory perf gate CI runs
+// against the merge base.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -75,7 +84,94 @@ func parseLine(line string) (string, Metrics, bool) {
 	return name, m, seen
 }
 
+func readSnapshot(path string) (Snapshot, error) {
+	var snap Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return snap, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return snap, nil
+}
+
+// pct returns the relative change from old to new in percent, or 0 if
+// old is zero (no baseline to compare against).
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// compareSnapshots prints per-benchmark deltas and returns the exit
+// code: 1 if any benchmark present in both snapshots regressed more
+// than threshold percent in ns/op.
+func compareSnapshots(oldPath, newPath string, threshold float64) int {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	names := make([]string, 0, len(newSnap.Benchmarks))
+	for name := range newSnap.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-55s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	regressed := 0
+	for _, name := range names {
+		n := newSnap.Benchmarks[name]
+		o, ok := oldSnap.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-55s %14s %14.0f %8s %10.0f\n", name, "(new)", n.NsPerOp, "", n.AllocsPerOp)
+			continue
+		}
+		d := pct(o.NsPerOp, n.NsPerOp)
+		mark := ""
+		if d > threshold {
+			mark = "  << REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%% %5.0f→%-5.0f%s\n",
+			name, o.NsPerOp, n.NsPerOp, d, o.AllocsPerOp, n.AllocsPerOp, mark)
+	}
+	for name := range oldSnap.Benchmarks {
+		if _, ok := newSnap.Benchmarks[name]; !ok {
+			fmt.Printf("%-55s (removed)\n", name)
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, threshold)
+		return 1
+	}
+	fmt.Printf("\nno ns/op regression beyond %.0f%%\n", threshold)
+	return 0
+}
+
 func main() {
+	compare := flag.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of parsing stdin")
+	threshold := flag.Float64("threshold", 15, "ns/op regression percentage that fails -compare")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold pct] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareSnapshots(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	snap := Snapshot{Benchmarks: map[string]Metrics{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -28,6 +28,11 @@
 // prefix KV and skip the cached prefill work; -no-prefix-cache is the
 // ablation. The prefix-affinity policy routes each group to the
 // replica with the warmest matching prefix.
+//
+// Profiling: -cpuprofile/-memprofile write pprof profiles of the run,
+// so hot-path regressions can be diagnosed against the simulator
+// binary itself (go tool pprof tdpipe-sim cpu.out). The tdpipe
+// scheduler also prints the kernel event rate (steps/s).
 package main
 
 import (
@@ -35,7 +40,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	goruntime "runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -70,9 +78,19 @@ type options struct {
 	prefixLen     int
 	prefixTurns   int
 	noPrefixCache bool
+
+	cpuprofile string
+	memprofile string
 }
 
+// main defers to realMain so profile finalizers (StopCPUProfile, file
+// closes) run even when the run fails — os.Exit here would truncate
+// the very profile needed to diagnose the failure.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var o options
 	flag.StringVar(&o.node, "node", "A100", "node: L20 or A100")
 	flag.StringVar(&o.model, "model", "70B", "model: 13B, 32B, 70B")
@@ -95,11 +113,41 @@ func main() {
 	flag.IntVar(&o.prefixLen, "prefix-len", 256, "mean shared-prefix length in tokens")
 	flag.IntVar(&o.prefixTurns, "prefix-turns", 4, "conversation depth: turns over which a group's prefix grows")
 	flag.BoolVar(&o.noPrefixCache, "no-prefix-cache", false, "disable shared-prefix KV reuse (ablation)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	flag.Parse()
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	code := 0
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
-		os.Exit(1)
+		code = 1
 	}
+	if o.memprofile != "" {
+		f, err := os.Create(o.memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
+			return 1
+		}
+		defer f.Close()
+		goruntime.GC() // settle allocations so the heap profile is stable
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tdpipe-sim:", err)
+			return 1
+		}
+	}
+	return code
 }
 
 func pickNode(name string) (hw.Node, error) {
@@ -267,13 +315,19 @@ func run(o options) error {
 			}
 			cfg.Predictor = clf
 		}
+		start := time.Now()
 		res, err := core.Run(cfg, reqs)
+		wall := time.Since(start)
 		if err != nil {
 			return err
 		}
 		rep, rec = res.Report, res.Rec
 		if res.KV != nil {
 			kv = res.KV.Points
+		}
+		if wall > 0 {
+			fmt.Printf("kernel: %d events in %v (%.0f steps/s)\n",
+				res.Steps, wall.Round(time.Millisecond), float64(res.Steps)/wall.Seconds())
 		}
 	case "tp+sb", "tp+hb", "pp+sb", "pp+hb":
 		var m baselines.Method

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/deque"
+
 	"repro/internal/hw"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
@@ -235,7 +237,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	// virtual time reaches their arrival.
 	for i, st := range states {
 		if st.arrival <= 0 {
-			base.waiting = append(base.waiting, i)
+			base.waiting.PushBack(i)
 		} else {
 			base.pending = append(base.pending, i)
 		}
@@ -290,8 +292,9 @@ type common struct {
 	cfg    Config
 	kv     *kvcache.Manager
 	states []*reqState
-	// waiting holds admitted (arrived) requests awaiting prefill.
-	waiting []int
+	// waiting holds admitted (arrived) requests awaiting prefill: a
+	// ring-buffer deque so eviction-recompute front-insertions are O(1).
+	waiting deque.Int
 	// pending holds not-yet-arrived requests in arrival order.
 	pending    []int
 	finished   int
@@ -302,7 +305,7 @@ type common struct {
 // the waiting queue.
 func (c *common) admitDue(t sim.Time) {
 	for len(c.pending) > 0 && c.states[c.pending[0]].arrival <= t {
-		c.waiting = append(c.waiting, c.pending[0])
+		c.waiting.PushBack(c.pending[0])
 		c.pending = c.pending[1:]
 	}
 }
@@ -311,8 +314,8 @@ func (c *common) admitDue(t sim.Time) {
 // waiting queue, allocating KV. Returns nil if nothing fits.
 func (c *common) admitPrefill() (ids []int, lens []int) {
 	tokens := 0
-	for len(c.waiting) > 0 && tokens < c.cfg.MaxPrefillTokens && len(ids) < c.cfg.MaxBatch {
-		id := c.waiting[0]
+	for c.waiting.Len() > 0 && tokens < c.cfg.MaxPrefillTokens && len(ids) < c.cfg.MaxBatch {
+		id := c.waiting.Front()
 		st := c.states[id]
 		if !c.kv.CanAllocate(st.prefillLen) {
 			break
@@ -320,7 +323,7 @@ func (c *common) admitPrefill() (ids []int, lens []int) {
 		if err := c.kv.Allocate(id, st.prefillLen); err != nil {
 			break
 		}
-		c.waiting = c.waiting[1:]
+		c.waiting.PopFront()
 		st.evicted = false
 		ids = append(ids, id)
 		lens = append(lens, st.prefillLen)
@@ -385,7 +388,7 @@ func (c *common) evict(id int) {
 	st.ctx = 0
 	st.prefilled = 0
 	c.nRecompute++
-	c.waiting = append([]int{id}, c.waiting...)
+	c.waiting.PushFront(id)
 }
 
 func (c *common) finishReq(id int, t sim.Time) {

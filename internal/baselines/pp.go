@@ -80,7 +80,7 @@ func (r *ppRunner) run() (sim.Time, error) {
 		r.pendingArrivals++
 		r.eng.At(r.states[id].arrival, func() {
 			r.pendingArrivals--
-			r.waiting = append(r.waiting, id)
+			r.waiting.PushBack(id)
 			if r.idle {
 				r.idle = false
 				r.startRound(r.eng.Now())
@@ -92,7 +92,7 @@ func (r *ppRunner) run() (sim.Time, error) {
 	r.eng.Run()
 	if r.finished != len(r.states) {
 		return 0, fmt.Errorf("baselines: %s stalled with %d/%d finished (waiting=%d)",
-			r.cfg.Method, r.finished, len(r.states), len(r.waiting))
+			r.cfg.Method, r.finished, len(r.states), r.waiting.Len())
 	}
 	return r.end, nil
 }
@@ -151,7 +151,7 @@ func (r *ppRunner) startRound(now sim.Time) {
 				wedged = true
 			}
 		}
-		if !wedged && len(r.waiting) == 0 && r.pendingArrivals > 0 {
+		if !wedged && r.waiting.Len() == 0 && r.pendingArrivals > 0 {
 			// Drained with more traffic to come: park until the next
 			// arrival event restarts the loop.
 			r.idle = true
@@ -175,7 +175,7 @@ func (r *ppRunner) passDone() {
 
 func (r *ppRunner) submitSB(slot int, now sim.Time) {
 	// Prefill priority, as in vLLM's default scheduler.
-	if len(r.waiting) > 0 {
+	if r.waiting.Len() > 0 {
 		ids, lens := r.admitPrefill()
 		if len(ids) > 0 {
 			r.outstanding++
@@ -259,8 +259,8 @@ func (r *ppRunner) admitChunksSlot(slot int, budget *int) (chunkTokens, chunkCtx
 		st.prefilled += take
 		*budget -= take
 	}
-	for *budget > 0 && len(r.waiting) > 0 {
-		id := r.waiting[0]
+	for *budget > 0 && r.waiting.Len() > 0 {
+		id := r.waiting.Front()
 		st := r.states[id]
 		if !r.kv.CanAllocate(st.prefillLen) {
 			break
@@ -268,7 +268,7 @@ func (r *ppRunner) admitChunksSlot(slot int, budget *int) (chunkTokens, chunkCtx
 		if err := r.kv.Allocate(id, st.prefillLen); err != nil {
 			break
 		}
-		r.waiting = r.waiting[1:]
+		r.waiting.PopFront()
 		st.evicted = false
 		take := st.prefillLen
 		if take > *budget {

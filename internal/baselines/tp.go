@@ -74,7 +74,7 @@ func (r *tpRunner) run() (sim.Time, error) {
 // stepSB is one vLLM-default iteration: prefill-prioritized separate
 // batching.
 func (r *tpRunner) stepSB() {
-	if len(r.waiting) > 0 {
+	if r.waiting.Len() > 0 {
 		ids, lens := r.admitPrefill()
 		if len(ids) > 0 {
 			comp, comm := r.cm.TPPrefill(r.cfg.World, costmodel.NewPrefillBatch(lens))
@@ -179,8 +179,8 @@ func (r *tpRunner) admitChunks(budget *int) (chunkTokens, chunkCtx int) {
 		*budget -= take
 	}
 	// Admit new requests while budget remains.
-	for *budget > 0 && len(r.waiting) > 0 {
-		id := r.waiting[0]
+	for *budget > 0 && r.waiting.Len() > 0 {
+		id := r.waiting.Front()
 		st := r.states[id]
 		if !r.kv.CanAllocate(st.prefillLen) {
 			break
@@ -188,7 +188,7 @@ func (r *tpRunner) admitChunks(budget *int) (chunkTokens, chunkCtx int) {
 		if err := r.kv.Allocate(id, st.prefillLen); err != nil {
 			break
 		}
-		r.waiting = r.waiting[1:]
+		r.waiting.PopFront()
 		st.evicted = false
 		st.prefilled = 0
 		take := st.prefillLen

@@ -13,6 +13,7 @@ import (
 // largest configuration — the simulator's overall speed, which bounds
 // how large a sweep the experiment harness can afford.
 func BenchmarkEngineEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	reqs := workload.MustGenerate(workload.DefaultConfig(1000, 3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -25,6 +26,7 @@ func BenchmarkEngineEndToEnd(b *testing.B) {
 
 // BenchmarkStealerRebalance measures the per-decode-step balancing cost.
 func BenchmarkStealerRebalance(b *testing.B) {
+	b.ReportAllocs()
 	s := NewStealer(4, true)
 	s.Prime([]int{128, 128, 128, 128})
 	batch := make([]int, 128)
@@ -40,6 +42,7 @@ func BenchmarkStealerRebalance(b *testing.B) {
 
 // BenchmarkUsageSim measures Algorithm 1's per-prefill bookkeeping.
 func BenchmarkUsageSim(b *testing.B) {
+	b.ReportAllocs()
 	s := newUsageSim(32, 1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -52,6 +55,7 @@ func BenchmarkUsageSim(b *testing.B) {
 
 // BenchmarkIntensityDecision measures the per-step switch evaluation.
 func BenchmarkIntensityDecision(b *testing.B) {
+	b.ReportAllocs()
 	cm, err := costmodel.New(hw.A100, model.Llama2_70B)
 	if err != nil {
 		b.Fatal(err)

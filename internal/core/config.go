@@ -22,6 +22,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/runtime"
 	"repro/internal/workload"
 )
 
@@ -96,6 +97,13 @@ type Config struct {
 
 	// RecordKV enables the Fig.-12 KV usage timeline.
 	RecordKV bool
+
+	// Transport selects the control-plane transport between the
+	// engine and its workers. The zero value is the zero-roundtrip
+	// runtime.TransportDirect; runtime.TransportMailbox restores the
+	// goroutine-actor execution plane. All transports produce
+	// bit-identical reports (regression-tested).
+	Transport runtime.Transport
 
 	// SLO is the latency objective folded into the run's latency
 	// digest (goodput accounting). The zero value disables it.

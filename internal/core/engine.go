@@ -5,12 +5,19 @@ import (
 	"sort"
 
 	"repro/internal/costmodel"
+	"repro/internal/deque"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// scratchReuse gates the recycling of per-iteration scratch buffers
+// (prefill id/len slices, decode batch slices, the decode pool, pack
+// previews). It is always on in production; the determinism regression
+// suite turns it off to prove buffer reuse does not change results.
+var scratchReuse = true
 
 // reqState tracks one request through the engine.
 type reqState struct {
@@ -30,6 +37,12 @@ type reqState struct {
 	done       bool
 	evicted    bool
 	recomputes int
+	// launch identifies the prefill batch that most recently packed
+	// this request. A request evicted while its prefill pass is still
+	// in flight can be re-launched in a second pass before the first
+	// completes; the stale completion sees a newer launch id and is
+	// ignored, so the request is never processed twice.
+	launch uint64
 	// arrival is when the request entered the system; the engine never
 	// schedules it before this instant.
 	arrival sim.Time
@@ -59,6 +72,10 @@ type Result struct {
 	// Records holds per-request lifecycle timestamps (arrival, first
 	// token, finish) by request ID; Report.Latency digests them.
 	Records []metrics.RequestRecord
+	// Steps is the number of simulation events processed by the run's
+	// engine (the shared engine's total for co-simulated fleets);
+	// divided by wall-clock time it gives the kernel's steps/sec.
+	Steps uint64
 }
 
 // Engine is the TD-Pipe centralized engine bound to one simulation.
@@ -74,13 +91,15 @@ type Engine struct {
 	capacityTokens int
 
 	states  []*reqState
-	waiting []int
+	waiting deque.Int
 
 	phase      metrics.Phase
 	everPhased bool
 
 	// Prefill-phase state.
 	inflight int
+	// launchSeq numbers prefill batches; see reqState.launch.
+	launchSeq uint64
 	// decodePool holds ids that are resident and waiting for the next
 	// decode phase.
 	decodePool []int
@@ -113,6 +132,24 @@ type Engine struct {
 	// shutdown guards cluster release across Run, Finalize and error
 	// paths.
 	shutdown bool
+
+	// onFinish, when set, is invoked synchronously as each request
+	// completes — the O(1) load-tracking hook online routers use
+	// instead of rescanning outstanding requests.
+	onFinish func(id int)
+
+	// Scratch buffers recycled across scheduler iterations when
+	// scratchReuse is on: idsFree recycles prefill batch id slices
+	// (returned by onPrefillDone), lensBuf the per-batch length
+	// staging, sizesBuf the decode split sizes, packLens/packBatches
+	// the pending-prefill preview, and decodeDone the per-slot
+	// completion callbacks (bound once, not per step).
+	idsFree     [][]int
+	lensBuf     []int
+	sizesBuf    []int
+	packLens    []int
+	packBatches []costmodel.PrefillBatch
+	decodeDone  []func(runtime.PassResult)
 }
 
 // NewEngine validates the configuration, sizes the KV pool and builds
@@ -125,7 +162,7 @@ func NewEngine(eng *sim.Engine, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := runtime.NewCluster(eng, cfg.Node, cfg.Spec, cfg.World)
+	cluster, err := runtime.NewClusterTransport(eng, cfg.Node, cfg.Spec, cfg.World, cfg.Transport)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +188,12 @@ func NewEngine(eng *sim.Engine, cfg Config) (*Engine, error) {
 
 // CapacityTokens returns the engine's KV capacity in tokens.
 func (e *Engine) CapacityTokens() int { return e.capacityTokens }
+
+// SetOnFinish registers fn to be called with each request's local id
+// the moment it completes, from inside the simulation's event context.
+// Online routers use it to maintain incremental load counters. Call
+// before the simulation runs; a nil fn disables the hook.
+func (e *Engine) SetOnFinish(fn func(id int)) { e.onFinish = fn }
 
 // Run executes the full trace to completion in virtual time and returns
 // the report. Requests with ArrivalTime > 0 are admitted only once the
@@ -179,14 +222,14 @@ func (e *Engine) Start(reqs []workload.Request) error {
 	e.running = true
 
 	e.states = make([]*reqState, 0, len(reqs))
-	e.waiting = e.waiting[:0]
+	e.waiting.Reset()
 	for i, r := range reqs {
 		if r.ID != i {
 			return fmt.Errorf("core: request IDs must be dense 0..n-1 (got %d at %d)", r.ID, i)
 		}
 		e.addRequest(r)
 	}
-	if len(e.waiting) > 0 {
+	if e.waiting.Len() > 0 {
 		e.startPrefillPhase()
 	} else {
 		e.idle = true
@@ -227,6 +270,14 @@ func (e *Engine) newState(r workload.Request) *reqState {
 	}
 }
 
+// arrivalEvent admits a request when its arrival instant is reached
+// (scheduled allocation-free via AtFunc: ctx is the engine, a the id).
+func arrivalEvent(ctx any, id, _ int) {
+	e := ctx.(*Engine)
+	e.pendingArrivals--
+	e.admit(id)
+}
+
 // addRequest registers one request: due requests are admitted right
 // away (a bare queue append while Start seeds with idle unset), future
 // ones become arrival events.
@@ -235,10 +286,7 @@ func (e *Engine) addRequest(r workload.Request) {
 	e.states = append(e.states, e.newState(r))
 	if at := sim.Time(r.ArrivalTime); at > e.eng.Now() {
 		e.pendingArrivals++
-		e.eng.At(at, func() {
-			e.pendingArrivals--
-			e.admit(id)
-		})
+		e.eng.AtFunc(at, arrivalEvent, e, id, 0)
 		return
 	}
 	e.admit(id)
@@ -247,7 +295,7 @@ func (e *Engine) addRequest(r workload.Request) {
 // admit moves an arrived request into the waiting queue and, if the
 // engine drained to idle, restarts the phase machine.
 func (e *Engine) admit(id int) {
-	e.waiting = append(e.waiting, id)
+	e.waiting.PushBack(id)
 	if e.idle {
 		e.idle = false
 		e.startPrefillPhase()
@@ -282,10 +330,6 @@ func (e *Engine) PrefixWarmTokens(r workload.Request) int {
 	return e.kv.MatchPrefix(r.PrefixGroup, p)
 }
 
-// RequestFinished reports whether local request id has completed —
-// the live load signal online dispatch policies snapshot.
-func (e *Engine) RequestFinished(id int) bool { return e.states[id].done }
-
 // NumFinished returns the number of completed requests so far.
 func (e *Engine) NumFinished() int { return e.finished }
 
@@ -304,7 +348,7 @@ func (e *Engine) Finalize() (*Result, error) {
 	e.Shutdown()
 	if e.finished != len(e.states) {
 		return nil, fmt.Errorf("core: run stalled with %d/%d finished at t=%v (waiting=%d, pool=%d, active=%d)",
-			e.finished, len(e.states), e.eng.Now(), len(e.waiting), len(e.decodePool), e.activeBatches)
+			e.finished, len(e.states), e.eng.Now(), e.waiting.Len(), len(e.decodePool), e.activeBatches)
 	}
 	return e.buildResult(), nil
 }
@@ -336,17 +380,41 @@ func (e *Engine) startPrefillPhase() {
 	}
 }
 
+// getScratchIDs returns an empty id buffer, recycling the slice of a
+// completed prefill batch when scratch reuse is on.
+func (e *Engine) getScratchIDs() []int {
+	if scratchReuse {
+		if n := len(e.idsFree); n > 0 {
+			s := e.idsFree[n-1]
+			e.idsFree[n-1] = nil
+			e.idsFree = e.idsFree[:n-1]
+			return s[:0]
+		}
+	}
+	return nil
+}
+
+// putScratchIDs recycles a consumed prefill id buffer.
+func (e *Engine) putScratchIDs(s []int) {
+	if scratchReuse && cap(s) > 0 {
+		e.idsFree = append(e.idsFree, s)
+	}
+}
+
 // launchPrefills packs and submits prefill batches until Algorithm 1
 // (or the ablation ratio, or memory itself) says stop. It returns the
 // number of batches submitted.
 func (e *Engine) launchPrefills() (launched int) {
 	switchNow := false
-	for len(e.waiting) > 0 && !switchNow {
-		var ids []int
+	for e.waiting.Len() > 0 && !switchNow {
+		ids := e.getScratchIDs()
 		var lens []int
+		if scratchReuse {
+			lens = e.lensBuf[:0]
+		}
 		tokens := 0
-		for len(e.waiting) > 0 && tokens < e.cfg.MaxPrefillTokens {
-			id := e.waiting[0]
+		for e.waiting.Len() > 0 && tokens < e.cfg.MaxPrefillTokens {
+			id := e.waiting.Front()
 			st := e.states[id]
 			if group, prefix := e.sharePlan(st); prefix > 0 {
 				if !e.kv.CanAllocateShared(st.prefillLen, group, prefix) {
@@ -366,8 +434,7 @@ func (e *Engine) launchPrefills() (launched int) {
 				}
 				st.cached = 0
 			}
-			e.waiting = e.waiting[1:]
-			st.evicted = false
+			e.waiting.PopFront()
 			ids = append(ids, id)
 			// Cached prefix tokens skip prefill compute; at least the
 			// last prompt token is always recomputed to produce logits.
@@ -380,14 +447,25 @@ func (e *Engine) launchPrefills() (launched int) {
 			tokens += n
 		}
 		if len(ids) == 0 {
+			e.putScratchIDs(ids)
 			break // memory full: decode must free space first
 		}
 		batch := costmodel.NewPrefillBatch(lens)
+		if scratchReuse {
+			e.lensBuf = lens[:0]
+		}
+		// Stamp the launch so a completion that raced an eviction and
+		// re-launch can recognize it is stale.
+		e.launchSeq++
+		launchID := e.launchSeq
+		for _, id := range ids {
+			e.states[id].launch = launchID
+		}
 		e.inflight++
 		launched++
 		idsCopy := ids
 		e.cluster.SubmitPass(runtime.PrefillTask(batch), e.eng.Now(), func(res runtime.PassResult) {
-			e.onPrefillDone(idsCopy, res)
+			e.onPrefillDone(idsCopy, launchID, res)
 		})
 		// Algorithm 1: account the new requests and check the switch
 		// condition after each launched prefill. Shared prefix blocks
@@ -406,14 +484,22 @@ func (e *Engine) launchPrefills() (launched int) {
 	return launched
 }
 
-func (e *Engine) onPrefillDone(ids []int, res runtime.PassResult) {
+func (e *Engine) onPrefillDone(ids []int, launchID uint64, res runtime.PassResult) {
 	e.inflight--
 	e.step++
 	for _, id := range ids {
 		st := e.states[id]
-		if st.evicted {
+		if st.launch != launchID {
+			// Evicted mid-flight (launch token zeroed), possibly
+			// already re-launched in a newer batch whose completion
+			// supersedes this one.
 			continue
 		}
+		// The request survives as evicted until its recompute prefill
+		// lands here: clearing the flag at launch would let a stale
+		// decode batch entry resume generating while the prefill is
+		// still in flight.
+		st.evicted = false
 		st.ctx = st.prefillLen
 		if st.generated == 0 {
 			st.firstTokenAt = res.End
@@ -425,6 +511,7 @@ func (e *Engine) onPrefillDone(ids []int, res runtime.PassResult) {
 			e.decodePool = append(e.decodePool, id)
 		}
 	}
+	e.putScratchIDs(ids)
 	e.recordKV()
 	if e.inflight == 0 {
 		e.afterPrefillDrained()
@@ -442,12 +529,12 @@ func (e *Engine) afterPrefillDrained() {
 	switch {
 	case len(e.decodePool) > 0:
 		e.startDecodePhase()
-	case len(e.waiting) > 0:
+	case e.waiting.Len() > 0:
 		// Everything prefilled so far finished during prefill (or was
 		// evicted); memory is free again, keep prefilling.
 		if e.launchPrefills() == 0 && e.inflight == 0 {
 			panic(fmt.Sprintf("core: stalled: %d waiting requests, empty pool, nothing admissible (free=%d tokens)",
-				len(e.waiting), e.kv.FreeBlocks()*e.kv.BlockSize()))
+				e.waiting.Len(), e.kv.FreeBlocks()*e.kv.BlockSize()))
 		}
 	default:
 		// Drained. Note the completion time and go idle: a later
@@ -492,7 +579,11 @@ func (e *Engine) startDecodePhase() {
 		}
 	}
 	sort.Ints(pool)
-	e.decodePool = nil
+	if scratchReuse {
+		e.decodePool = pool[:0]
+	} else {
+		e.decodePool = nil
+	}
 	if len(pool) == 0 {
 		e.afterPrefillDrained()
 		return
@@ -503,14 +594,33 @@ func (e *Engine) startDecodePhase() {
 	}
 	// Even split, as in §3.4: "divide the requests into batches equal
 	// to the number of GPUs, each containing the same number".
-	e.batches = make([][]int, e.numSlots)
+	if scratchReuse && cap(e.batches) >= e.numSlots {
+		e.batches = e.batches[:e.numSlots]
+		for s := range e.batches {
+			e.batches[s] = e.batches[s][:0]
+		}
+	} else {
+		e.batches = make([][]int, e.numSlots)
+	}
 	for i, id := range pool {
 		slot := i % e.numSlots
 		e.batches[slot] = append(e.batches[slot], id)
 	}
-	sizes := make([]int, e.numSlots)
+	var sizes []int
+	if scratchReuse {
+		sizes = e.sizesBuf[:0]
+	}
 	for s := range e.batches {
-		sizes[s] = len(e.batches[s])
+		sizes = append(sizes, len(e.batches[s]))
+	}
+	if scratchReuse {
+		e.sizesBuf = sizes
+	}
+	// Completion callbacks are bound per slot once and reused by every
+	// decode step submitted to that slot.
+	for len(e.decodeDone) < e.numSlots {
+		slot := len(e.decodeDone)
+		e.decodeDone = append(e.decodeDone, func(res runtime.PassResult) { e.onDecodeDone(slot, res) })
 	}
 	e.stealer = NewStealer(e.numSlots, !e.cfg.DisableWorkStealing)
 	e.stealer.Prime(sizes)
@@ -529,9 +639,7 @@ func (e *Engine) submitDecode(slot int, readyAt sim.Time) {
 	for _, id := range ids {
 		kvTokens += e.states[id].ctx
 	}
-	e.cluster.SubmitPass(runtime.DecodeTask(len(ids), kvTokens), readyAt, func(res runtime.PassResult) {
-		e.onDecodeDone(slot, res)
-	})
+	e.cluster.SubmitDecode(len(ids), kvTokens, readyAt, e.decodeDone[slot])
 }
 
 func (e *Engine) onDecodeDone(slot int, res runtime.PassResult) {
@@ -567,14 +675,18 @@ func (e *Engine) onDecodeDone(slot int, res runtime.PassResult) {
 	// Approach 3 (or the Fig.-16 ablation): decide whether to switch
 	// back to prefill. On a switch, prefill launches immediately and
 	// overlaps the remaining decode drain.
-	if !e.switchToPrefil && len(e.waiting) > 0 && e.shouldSwitchToPrefill(slot) {
+	if !e.switchToPrefil && e.waiting.Len() > 0 && e.shouldSwitchToPrefill(slot) {
 		e.switchToPrefil = true
 		e.overlapPrefill()
 	}
 
 	if e.switchToPrefil || len(e.batches[slot]) == 0 {
 		e.decodePool = append(e.decodePool, e.batches[slot]...)
-		e.batches[slot] = nil
+		if scratchReuse {
+			e.batches[slot] = e.batches[slot][:0]
+		} else {
+			e.batches[slot] = nil
+		}
 		e.activeBatches--
 		if e.activeBatches == 0 {
 			e.decodePool = append(e.decodePool, e.stealer.DrainStash()...)
@@ -592,7 +704,7 @@ func (e *Engine) shouldSwitchToPrefill(slot int) bool {
 			return false
 		}
 		// Only worth switching if the head of the queue fits.
-		return e.kv.CanAllocate(e.states[e.waiting[0]].prefillLen)
+		return e.kv.CanAllocate(e.states[e.waiting.Front()].prefillLen)
 	}
 	resident, kvTokens := e.residentLoad()
 	if resident == 0 {
@@ -631,19 +743,24 @@ func (e *Engine) residentLoad() (n, kvTokens int) {
 // packPendingPrefills previews the prefill batches launchable with the
 // currently free KV (the "pending prefills" of §3.5). It returns nil if
 // free memory cannot hold a meaningful amount of prefill work — one
-// full batch, or all of the remaining waiting set if smaller.
+// full batch, or all of the remaining waiting set if smaller. The
+// returned slice shares a recycled buffer, valid until the next call.
 func (e *Engine) packPendingPrefills() []costmodel.PrefillBatch {
 	free := e.kv.FreeBlocks() * e.kv.BlockSize()
 	var batches []costmodel.PrefillBatch
 	var lens []int
+	if scratchReuse {
+		batches = e.packBatches[:0]
+		lens = e.packLens[:0]
+	}
 	tokens := 0
 	packed := 0
 	waitingTokens := 0
-	for _, id := range e.waiting {
-		waitingTokens += e.states[id].prefillLen
+	for i := 0; i < e.waiting.Len(); i++ {
+		waitingTokens += e.states[e.waiting.At(i)].prefillLen
 	}
-	for _, id := range e.waiting {
-		need := e.states[id].prefillLen
+	for i := 0; i < e.waiting.Len(); i++ {
+		need := e.states[e.waiting.At(i)].prefillLen
 		if packed+need > free {
 			break
 		}
@@ -652,11 +769,19 @@ func (e *Engine) packPendingPrefills() []costmodel.PrefillBatch {
 		tokens += need
 		if tokens >= e.cfg.MaxPrefillTokens {
 			batches = append(batches, costmodel.NewPrefillBatch(lens))
-			lens, tokens = nil, 0
+			if scratchReuse {
+				lens, tokens = lens[:0], 0
+			} else {
+				lens, tokens = nil, 0
+			}
 		}
 	}
 	if len(lens) > 0 {
 		batches = append(batches, costmodel.NewPrefillBatch(lens))
+	}
+	if scratchReuse {
+		e.packBatches = batches
+		e.packLens = lens[:0]
 	}
 	min := e.cfg.MaxPrefillTokens
 	if waitingTokens < min {
@@ -671,7 +796,8 @@ func (e *Engine) packPendingPrefills() []costmodel.PrefillBatch {
 // handleOOM evicts recently admitted requests to make room for the
 // append that failed — the recompute strategy of §4.1. Victims lose
 // their cache, keep their generated tokens, and requeue for a fresh
-// prefill over input+generated tokens.
+// prefill over input+generated tokens. The ring-buffer waiting queue
+// makes the front-insertion O(1) instead of reslicing the whole queue.
 func (e *Engine) handleOOM(needID, slot int) {
 	keep := map[int]bool{needID: true}
 	for _, id := range e.batches[slot] {
@@ -681,13 +807,14 @@ func (e *Engine) handleOOM(needID, slot int) {
 	for _, id := range victims {
 		st := e.states[id]
 		st.evicted = true
+		st.launch = 0 // void any in-flight prefill for this request
 		st.recomputes++
 		e.recomputes++
 		st.prefillLen = st.req.InputLen + st.generated
 		st.ctx = 0
 		st.cached = 0
 		e.stealer.Remove(id)
-		e.waiting = append([]int{id}, e.waiting...)
+		e.waiting.PushFront(id)
 	}
 	if err := e.kv.Append(needID, 1); err != nil {
 		// Even eviction could not free a block: the current batch
@@ -695,12 +822,13 @@ func (e *Engine) handleOOM(needID, slot int) {
 		st := e.states[needID]
 		e.kv.Free(needID)
 		st.evicted = true
+		st.launch = 0
 		st.recomputes++
 		e.recomputes++
 		st.prefillLen = st.req.InputLen + st.generated
 		st.ctx = 0
 		st.cached = 0
-		e.waiting = append([]int{needID}, e.waiting...)
+		e.waiting.PushFront(needID)
 	}
 }
 
@@ -710,6 +838,9 @@ func (e *Engine) finishReq(id int, t sim.Time) {
 	st.finishedAt = t
 	e.kv.Free(id)
 	e.finished++
+	if e.onFinish != nil {
+		e.onFinish(id)
+	}
 }
 
 func (e *Engine) finish(t sim.Time) {
@@ -761,7 +892,7 @@ func (e *Engine) buildResult() *Result {
 	if e.cfg.RecordKV {
 		kvt = e.kvTimeline
 	}
-	return &Result{Report: rep, Rec: e.cluster.Rec, KV: kvt, Finished: finished, Records: records}
+	return &Result{Report: rep, Rec: e.cluster.Rec, KV: kvt, Finished: finished, Records: records, Steps: e.eng.Steps()}
 }
 
 // Run is the package-level convenience: build an engine on a fresh

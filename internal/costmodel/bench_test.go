@@ -24,6 +24,7 @@ func benchModel(b *testing.B) (*Model, model.PipelinePlan) {
 }
 
 func BenchmarkPrefillStage(b *testing.B) {
+	b.ReportAllocs()
 	cm, plan := benchModel(b)
 	batch := NewPrefillBatch([]int{512, 256, 1024, 300})
 	b.ResetTimer()
@@ -33,6 +34,7 @@ func BenchmarkPrefillStage(b *testing.B) {
 }
 
 func BenchmarkDecodeStage(b *testing.B) {
+	b.ReportAllocs()
 	cm, plan := benchModel(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -41,6 +43,7 @@ func BenchmarkDecodeStage(b *testing.B) {
 }
 
 func BenchmarkDecodeBottleneck(b *testing.B) {
+	b.ReportAllocs()
 	cm, plan := benchModel(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,6 +52,7 @@ func BenchmarkDecodeBottleneck(b *testing.B) {
 }
 
 func BenchmarkTPDecode(b *testing.B) {
+	b.ReportAllocs()
 	cm, _ := benchModel(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

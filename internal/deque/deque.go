@@ -1,0 +1,82 @@
+// Package deque provides a ring-buffer deque of ints for scheduler
+// queues. The engines' waiting queues see pushes at both ends (arrivals
+// at the back, eviction-recompute victims at the front) and pops at the
+// front; the ring buffer makes all of them O(1), replacing the
+// O(n)-per-eviction `append([]int{id}, queue...)` front-insertion.
+package deque
+
+// Int is a double-ended queue of ints backed by a power-of-two ring
+// buffer. The zero value is an empty, ready-to-use deque.
+type Int struct {
+	buf  []int
+	head int
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (d *Int) Len() int { return d.n }
+
+// Reset empties the deque, keeping its buffer.
+func (d *Int) Reset() {
+	d.head, d.n = 0, 0
+}
+
+// grow doubles the buffer, laying the elements out from index 0.
+func (d *Int) grow() {
+	c := len(d.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	buf := make([]int, c)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf, d.head = buf, 0
+}
+
+// PushBack appends v at the tail.
+func (d *Int) PushBack(v int) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = v
+	d.n++
+}
+
+// PushFront inserts v at the head.
+func (d *Int) PushFront(v int) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = v
+	d.n++
+}
+
+// Front returns the head element; it panics on an empty deque.
+func (d *Int) Front() int {
+	if d.n == 0 {
+		panic("deque: Front of empty deque")
+	}
+	return d.buf[d.head]
+}
+
+// PopFront removes and returns the head element; it panics on an empty
+// deque.
+func (d *Int) PopFront() int {
+	v := d.Front()
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	if d.n == 0 {
+		d.head = 0
+	}
+	return v
+}
+
+// At returns the i-th element from the head (0 <= i < Len).
+func (d *Int) At(i int) int {
+	if i < 0 || i >= d.n {
+		panic("deque: index out of range")
+	}
+	return d.buf[(d.head+i)&(len(d.buf)-1)]
+}

@@ -1,0 +1,113 @@
+package deque
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	var d Int
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("pop %d = %d", i, got)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len = %d after drain", d.Len())
+	}
+}
+
+func TestPushFrontOrdering(t *testing.T) {
+	var d Int
+	d.PushBack(1)
+	d.PushBack(2)
+	d.PushFront(0)
+	want := []int{0, 1, 2}
+	for i, w := range want {
+		if got := d.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if d.Front() != 0 {
+		t.Fatalf("front = %d", d.Front())
+	}
+}
+
+// The deque must behave exactly like a slice used with the engines'
+// access pattern: PushBack, PushFront, PopFront, At, under wrap-around
+// and growth.
+func TestMatchesSliceReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var d Int
+	var ref []int
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(4) {
+		case 0, 1: // bias toward growth
+			v := rng.Intn(1000)
+			d.PushBack(v)
+			ref = append(ref, v)
+		case 2:
+			v := rng.Intn(1000)
+			d.PushFront(v)
+			ref = append([]int{v}, ref...)
+		case 3:
+			if len(ref) == 0 {
+				continue
+			}
+			got := d.PopFront()
+			want := ref[0]
+			ref = ref[1:]
+			if got != want {
+				t.Fatalf("op %d: pop = %d, want %d", op, got, want)
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("op %d: len = %d, want %d", op, d.Len(), len(ref))
+		}
+		if len(ref) > 0 {
+			i := rng.Intn(len(ref))
+			if d.At(i) != ref[i] {
+				t.Fatalf("op %d: At(%d) = %d, want %d", op, i, d.At(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestResetKeepsBuffer(t *testing.T) {
+	var d Int
+	for i := 0; i < 64; i++ {
+		d.PushBack(i)
+	}
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatalf("len = %d after reset", d.Len())
+	}
+	d.PushBack(7)
+	if d.Front() != 7 || d.Len() != 1 {
+		t.Fatalf("reuse after reset: front=%d len=%d", d.Front(), d.Len())
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	var d Int
+	for name, fn := range map[string]func(){
+		"Front":    func() { d.Front() },
+		"PopFront": func() { d.PopFront() },
+		"At":       func() { d.At(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty deque did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

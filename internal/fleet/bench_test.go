@@ -10,9 +10,11 @@ import (
 // BenchmarkDispatch measures pure dispatch cost per policy over a
 // 5,000-request trace and 8 replicas.
 func BenchmarkDispatch(b *testing.B) {
+	b.ReportAllocs()
 	reqs := workload.MustGenerate(workload.DefaultConfig(5000, 1))
 	for _, name := range Names() {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p, err := New(name, Options{Seed: 1})
 				if err != nil {
@@ -32,6 +34,7 @@ func BenchmarkDispatch(b *testing.B) {
 // replicas, alongside the offline benchmarks so future PRs can track
 // online-path cost.
 func BenchmarkOnlineFleet(b *testing.B) {
+	b.ReportAllocs()
 	reqs := workload.StampArrivals(smallTrace(5000, 1), workload.Poisson{Rate: 200}, 7)
 	for i := 0; i < b.N; i++ {
 		p, err := New(PredictedCost, Options{Seed: 1})
@@ -53,9 +56,11 @@ func BenchmarkOnlineFleet(b *testing.B) {
 // engine replicas + merge) on the fast test deployment, scaling the
 // replica count.
 func BenchmarkRun(b *testing.B) {
+	b.ReportAllocs()
 	reqs := smallTrace(600, 1)
 	for _, replicas := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p, err := New(PredictedCost, Options{Seed: 1})
 				if err != nil {

@@ -14,6 +14,10 @@ import (
 // (Dispatch), policies see the arrival order and a live load snapshot —
 // the work each replica still has outstanding at that moment, not the
 // whole-trace totals — through the same Policy interface and registry.
+// The snapshot is maintained incrementally: submissions add to
+// per-replica counters and each engine's finish hook subtracts, so
+// routing one arrival costs O(replicas) instead of rescanning every
+// outstanding request.
 //
 // The co-simulation is single-threaded (one event queue), so results
 // are deterministic for a fixed trace, config and policy seed. Use Run
@@ -46,22 +50,28 @@ func RunOnline(cfg core.Config, replicas int, p Policy, reqs []workload.Request)
 		engines[i] = e
 	}
 	router := &onlineRouter{
-		policy:  p,
-		engines: engines,
-		shards:  make([]Shard, replicas),
-		ledger:  make([][]ledgerEntry, replicas),
+		policy:      p,
+		engines:     engines,
+		reqs:        reqs,
+		shards:      make([]Shard, replicas),
+		outstanding: make([]Load, replicas),
+		entries:     make([][]loadEntry, replicas),
+		loads:       make([]Load, replicas),
+	}
+	for i := range engines {
+		i := i
+		engines[i].SetOnFinish(func(local int) { router.finished(i, local) })
 	}
 	// One event per request at its arrival instant, scheduled in
 	// (arrival, trace index) order so simultaneous arrivals route in
-	// trace order.
+	// trace order. AtFunc carries the trace index, so arrivals cost no
+	// closure.
 	for _, idx := range workload.SortByArrival(reqs) {
-		idx := idx
-		r := reqs[idx]
-		at := sim.Time(r.ArrivalTime)
+		at := sim.Time(reqs[idx].ArrivalTime)
 		if at < 0 {
 			at = 0
 		}
-		eng.At(at, func() { router.route(r, idx) })
+		eng.AtFunc(at, routeEvent, router, idx, 0)
 	}
 	eng.Run()
 	if router.err != nil {
@@ -88,13 +98,9 @@ func RunOnline(cfg core.Config, replicas int, p Policy, reqs []workload.Request)
 	return assemble(cfg, "FleetOnline", p.Name(), results, router.shards, len(reqs))
 }
 
-// ledgerEntry tracks one routed request until it finishes, so load
-// snapshots count only outstanding work.
-type ledgerEntry struct {
-	// local is the request's dense ID inside its replica.
-	local int
-	// inputTokens and cost are the entry's contribution to the load
-	// snapshot while outstanding.
+// loadEntry is one routed request's contribution to its replica's load
+// counters, subtracted when the engine reports it finished.
+type loadEntry struct {
 	inputTokens int
 	cost        float64
 }
@@ -104,9 +110,25 @@ type ledgerEntry struct {
 type onlineRouter struct {
 	policy  Policy
 	engines []*core.Engine
+	reqs    []workload.Request
 	shards  []Shard
-	ledger  [][]ledgerEntry
-	err     error
+	// outstanding[i] is replica i's live load, maintained
+	// incrementally: route adds, the engine's finish hook subtracts.
+	outstanding []Load
+	// entries[i][local] is the load contribution of replica i's local
+	// request local.
+	entries [][]loadEntry
+	// loads is the per-arrival snapshot buffer handed to Policy.Pick,
+	// reused across arrivals.
+	loads []Load
+	err   error
+}
+
+// routeEvent fires at a request's arrival instant (scheduled via
+// AtFunc: ctx is the router, a the trace index).
+func routeEvent(ctx any, idx, _ int) {
+	ro := ctx.(*onlineRouter)
+	ro.route(ro.reqs[idx], idx)
 }
 
 // route dispatches one request at its arrival instant.
@@ -114,44 +136,43 @@ func (ro *onlineRouter) route(r workload.Request, origin int) {
 	if ro.err != nil {
 		return
 	}
-	k := ro.policy.Pick(r, ro.loads(r))
+	k := ro.policy.Pick(r, ro.snapshot(r))
 	if k < 0 || k >= len(ro.engines) {
 		ro.err = fmt.Errorf("fleet: policy %q picked replica %d of %d", ro.policy.Name(), k, len(ro.engines))
 		return
 	}
 	cost := ro.policy.Cost(r)
 	local := ro.engines[k].Submit(r)
-	ro.ledger[k] = append(ro.ledger[k], ledgerEntry{local: local, inputTokens: r.InputLen, cost: cost})
+	// Submit only schedules simulation events, so the finish hook
+	// cannot fire before the entry lands below.
+	ro.entries[k] = append(ro.entries[k], loadEntry{inputTokens: r.InputLen, cost: cost})
+	ro.outstanding[k].Requests++
+	ro.outstanding[k].InputTokens += r.InputLen
+	ro.outstanding[k].CostTokens += cost
 	routed := r
 	routed.ID = local
 	ro.shards[k].Reqs = append(ro.shards[k].Reqs, routed)
 	ro.shards[k].Origin = append(ro.shards[k].Origin, origin)
 }
 
-// loads snapshots each replica's state for routing r right now: the
-// outstanding work (requests routed to it that have not finished,
-// their input tokens, the policy's own cost estimates) plus how much
-// of r's shared prefix is resident in the replica's KV pool — warm
-// blocks included, so affinity survives request completion. Finished
-// entries are dropped from the ledger as they are discovered, so the
-// scan stays amortized-linear.
-func (ro *onlineRouter) loads(r workload.Request) []Load {
-	loads := make([]Load, len(ro.engines))
+// snapshot fills the reusable load view for routing r right now: the
+// incrementally maintained outstanding counters plus how much of r's
+// shared prefix is resident in each replica's KV pool — warm blocks
+// included, so affinity survives request completion.
+func (ro *onlineRouter) snapshot(r workload.Request) []Load {
 	for i := range ro.engines {
-		live := ro.ledger[i][:0]
-		var l Load
-		for _, entry := range ro.ledger[i] {
-			if ro.engines[i].RequestFinished(entry.local) {
-				continue
-			}
-			live = append(live, entry)
-			l.Requests++
-			l.InputTokens += entry.inputTokens
-			l.CostTokens += entry.cost
-		}
-		ro.ledger[i] = live
+		l := ro.outstanding[i]
 		l.WarmTokens = ro.engines[i].PrefixWarmTokens(r)
-		loads[i] = l
+		ro.loads[i] = l
 	}
-	return loads
+	return ro.loads
+}
+
+// finished is the engines' completion hook: it retires the request's
+// contribution from its replica's counters in O(1).
+func (ro *onlineRouter) finished(replica, local int) {
+	en := ro.entries[replica][local]
+	ro.outstanding[replica].Requests--
+	ro.outstanding[replica].InputTokens -= en.inputTokens
+	ro.outstanding[replica].CostTokens -= en.cost
 }

@@ -5,6 +5,7 @@ import "testing"
 // BenchmarkAllocateFree measures the admission-path cost the engine
 // pays per prefill batch member.
 func BenchmarkAllocateFree(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewManager(1<<24, 16)
 	if err != nil {
 		b.Fatal(err)
@@ -20,6 +21,7 @@ func BenchmarkAllocateFree(b *testing.B) {
 
 // BenchmarkAppend measures the per-decode-token growth path.
 func BenchmarkAppend(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewManager(1<<30, 16)
 	if err != nil {
 		b.Fatal(err)
@@ -40,6 +42,7 @@ func BenchmarkAppend(b *testing.B) {
 
 // BenchmarkEvictMostRecent measures the recompute path under pressure.
 func BenchmarkEvictMostRecent(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		m, _ := NewManager(16*1024, 16)
@@ -54,6 +57,7 @@ func BenchmarkEvictMostRecent(b *testing.B) {
 // BenchmarkAllocateSharedHit measures the warm-chain admission path —
 // what a prefix-cache hit costs relative to a cold Allocate.
 func BenchmarkAllocateSharedHit(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewManager(1<<24, 16)
 	if err != nil {
 		b.Fatal(err)
@@ -72,6 +76,7 @@ func BenchmarkAllocateSharedHit(b *testing.B) {
 
 // BenchmarkMatchPrefix measures the router's warmth probe.
 func BenchmarkMatchPrefix(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewManager(1<<24, 16)
 	if err != nil {
 		b.Fatal(err)

@@ -18,6 +18,11 @@ const DefaultBlockSize = 16
 // fixed capacity. It is not safe for concurrent use; in TD-Pipe only the
 // centralized engine touches it, which mirrors the paper's design.
 //
+// Sequence ids are expected to be small and dense (the engines number
+// requests 0..n-1): the per-sequence table is a flat slice indexed by
+// id, so the per-decode-token Append path costs an array index, not a
+// map probe.
+//
 // Beyond per-sequence private blocks, the manager supports ref-counted
 // shared prefix blocks (see sharing.go): a sequence may reference a
 // chain of shared blocks for its prompt prefix, paying for each shared
@@ -29,7 +34,14 @@ type Manager struct {
 	// used counts private blocks (summed over sequences) plus every
 	// resident shared block exactly once, warm or referenced.
 	used int
-	seqs map[int]seqAlloc
+	// seqs is a dense window over sequence ids: seqs[i] holds id
+	// base+i, and arrival == 0 marks an absent sequence (allocSeq
+	// stamps start at 1). The window rebases whenever the table
+	// empties, so long-lived managers serving ever-increasing ids stay
+	// small.
+	seqs []seqAlloc
+	base int
+	live int
 
 	// shared holds resident shared blocks by hash-chained key; blocks
 	// whose refcount drops to zero stay resident ("warm") until
@@ -70,7 +82,6 @@ func NewManager(capacityTokens, blockSize int) (*Manager, error) {
 	return &Manager{
 		blockSize: blockSize,
 		capacity:  (capacityTokens + blockSize - 1) / blockSize,
-		seqs:      make(map[int]seqAlloc),
 		shared:    make(map[uint64]*sharedBlock),
 	}, nil
 }
@@ -120,14 +131,65 @@ func (m *Manager) UsageRatio() float64 {
 func (m *Manager) PeakBlocks() int { return m.peak }
 
 // Live returns the number of resident sequences.
-func (m *Manager) Live() int { return len(m.seqs) }
+func (m *Manager) Live() int { return m.live }
+
+// seq returns the allocation for id and whether it is resident.
+func (m *Manager) seq(id int) (seqAlloc, bool) {
+	i := id - m.base
+	if i < 0 || i >= len(m.seqs) {
+		return seqAlloc{}, false
+	}
+	s := m.seqs[i]
+	return s, s.arrival != 0
+}
+
+// setSeq installs s for id, growing the dense table as needed.
+//
+// Invariant: every table slot at index >= len(m.seqs) and < cap is
+// zero — fresh capacity comes zeroed from make, Free zeroes slots, and
+// the table only shrinks (rebases) when all slots have been freed — so
+// reslicing into spare capacity needs no clearing.
+func (m *Manager) setSeq(id int, s seqAlloc) {
+	if m.live == 0 {
+		// Empty table: rebase the window to this id, so a long-lived
+		// manager serving ever-increasing ids reuses its buffer
+		// instead of growing with the id space.
+		m.base = id
+		m.seqs = m.seqs[:0]
+	}
+	if id < m.base {
+		// Rare: extend the window downward by rebasing to id.
+		shift := m.base - id
+		grown := make([]seqAlloc, len(m.seqs)+shift, max(2*(len(m.seqs)+shift), 16))
+		copy(grown[shift:], m.seqs)
+		m.seqs = grown
+		m.base = id
+	}
+	i := id - m.base
+	if i >= len(m.seqs) {
+		if i < cap(m.seqs) {
+			m.seqs = m.seqs[:i+1]
+		} else {
+			grown := make([]seqAlloc, i+1, max(2*(i+1), 16))
+			copy(grown, m.seqs)
+			m.seqs = grown
+		}
+	}
+	if m.seqs[i].arrival == 0 {
+		m.live++
+	}
+	m.seqs[i] = s
+}
 
 // Tokens returns the cached token count for sequence id (0 if absent).
-func (m *Manager) Tokens(id int) int { return m.seqs[id].tokens }
+func (m *Manager) Tokens(id int) int {
+	s, _ := m.seq(id)
+	return s.tokens
+}
 
 // Has reports whether sequence id is resident.
 func (m *Manager) Has(id int) bool {
-	_, ok := m.seqs[id]
+	_, ok := m.seq(id)
 	return ok
 }
 
@@ -148,6 +210,9 @@ func (m *Manager) Allocate(id, tokens int) error {
 	if tokens <= 0 {
 		return fmt.Errorf("kvcache: allocate %d tokens", tokens)
 	}
+	if id < 0 {
+		return fmt.Errorf("kvcache: negative sequence id %d", id)
+	}
 	if m.Has(id) {
 		return fmt.Errorf("kvcache: sequence %d already allocated", id)
 	}
@@ -159,7 +224,7 @@ func (m *Manager) Allocate(id, tokens int) error {
 		return fmt.Errorf("kvcache: out of memory: need %d blocks, free %d", need, m.FreeBlocks())
 	}
 	m.allocSeq++
-	m.seqs[id] = seqAlloc{tokens: tokens, blocks: need, arrival: m.allocSeq}
+	m.setSeq(id, seqAlloc{tokens: tokens, blocks: need, arrival: m.allocSeq})
 	m.used += need
 	if m.used > m.peak {
 		m.peak = m.used
@@ -194,7 +259,7 @@ func (m *Manager) appendPlan(s seqAlloc, n int) (keyCount, newPriv, grow int, co
 // CanAppend reports whether sequence id can grow by n tokens,
 // including any copy-on-write block the growth would take.
 func (m *Manager) CanAppend(id, n int) bool {
-	s, ok := m.seqs[id]
+	s, ok := m.seq(id)
 	if !ok {
 		return false
 	}
@@ -208,7 +273,7 @@ func (m *Manager) CanAppend(id, n int) bool {
 // block when other sequences still reference it, or adopted in place
 // when this sequence is the sole owner.
 func (m *Manager) Append(id, n int) error {
-	s, ok := m.seqs[id]
+	s, ok := m.seq(id)
 	if !ok {
 		return fmt.Errorf("kvcache: append to unknown sequence %d", id)
 	}
@@ -235,7 +300,7 @@ func (m *Manager) Append(id, n int) error {
 	}
 	s.tokens += n
 	s.blocks = newPriv
-	m.seqs[id] = s
+	m.seqs[id-m.base] = s
 	m.used += grow
 	if m.used > m.peak {
 		m.peak = m.used
@@ -249,7 +314,7 @@ func (m *Manager) Append(id, n int) error {
 // until reclaimed under pressure. Freeing an absent id is a no-op,
 // matching allocator conventions (a double free drops no refs twice).
 func (m *Manager) Free(id int) {
-	s, ok := m.seqs[id]
+	s, ok := m.seq(id)
 	if !ok {
 		return
 	}
@@ -261,7 +326,8 @@ func (m *Manager) Free(id int) {
 			m.reclaimable++
 		}
 	}
-	delete(m.seqs, id)
+	m.seqs[id-m.base] = seqAlloc{}
+	m.live--
 }
 
 // EvictMostRecent frees the most recently admitted sequences until at
@@ -279,12 +345,13 @@ func (m *Manager) EvictMostRecent(needBlocks int, keep map[int]bool) []int {
 		return nil
 	}
 	type cand struct{ id, arrival int }
-	cands := make([]cand, 0, len(m.seqs))
-	for id, s := range m.seqs {
-		if keep[id] {
+	cands := make([]cand, 0, m.live)
+	for i := range m.seqs {
+		id := m.base + i
+		if m.seqs[i].arrival == 0 || keep[id] {
 			continue
 		}
-		cands = append(cands, cand{id, s.arrival})
+		cands = append(cands, cand{id, m.seqs[i].arrival})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].arrival > cands[j].arrival })
 	var evicted []int
@@ -304,13 +371,17 @@ func (m *Manager) EvictMostRecent(needBlocks int, keep map[int]bool) []int {
 }
 
 // Snapshot returns the resident (id, tokens) pairs sorted by id, for
-// deterministic iteration by schedulers.
+// deterministic iteration by schedulers. The dense table iterates in id
+// order, so no sort is needed.
 func (m *Manager) Snapshot() []SeqInfo {
-	out := make([]SeqInfo, 0, len(m.seqs))
-	for id, s := range m.seqs {
-		out = append(out, SeqInfo{ID: id, Tokens: s.tokens, Blocks: s.blocks + len(s.keys), Shared: len(s.keys)})
+	out := make([]SeqInfo, 0, m.live)
+	for i := range m.seqs {
+		s := m.seqs[i]
+		if s.arrival == 0 {
+			continue
+		}
+		out = append(out, SeqInfo{ID: m.base + i, Tokens: s.tokens, Blocks: s.blocks + len(s.keys), Shared: len(s.keys)})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -158,6 +158,9 @@ func (m *Manager) AllocateShared(id, tokens, group, prefixTokens int) (int, erro
 	if tokens <= 0 {
 		return 0, fmt.Errorf("kvcache: allocate %d tokens", tokens)
 	}
+	if id < 0 {
+		return 0, fmt.Errorf("kvcache: negative sequence id %d", id)
+	}
 	if m.Has(id) {
 		return 0, fmt.Errorf("kvcache: sequence %d already allocated", id)
 	}
@@ -203,7 +206,7 @@ func (m *Manager) AllocateShared(id, tokens, group, prefixTokens int) (int, erro
 	}
 	priv := m.BlocksFor(tokens) - len(p.keys)
 	m.allocSeq++
-	m.seqs[id] = seqAlloc{tokens: tokens, blocks: priv, keys: p.keys, arrival: m.allocSeq}
+	m.setSeq(id, seqAlloc{tokens: tokens, blocks: priv, keys: p.keys, arrival: m.allocSeq})
 	m.used += priv
 	if m.used > m.peak {
 		m.peak = m.used
@@ -219,9 +222,12 @@ func (m *Manager) AllocateShared(id, tokens, group, prefixTokens int) (int, erro
 // (possibly partial) tail block triggers copy-on-write in Append. The
 // child starts with the parent's token count and no private blocks.
 func (m *Manager) Fork(parentID, childID int) error {
-	p, ok := m.seqs[parentID]
+	p, ok := m.seq(parentID)
 	if !ok {
 		return fmt.Errorf("kvcache: fork of unknown sequence %d", parentID)
+	}
+	if childID < 0 {
+		return fmt.Errorf("kvcache: negative sequence id %d", childID)
 	}
 	if m.Has(childID) {
 		return fmt.Errorf("kvcache: sequence %d already allocated", childID)
@@ -246,9 +252,9 @@ func (m *Manager) Fork(parentID, childID int) error {
 	// blocks, each still counted once.
 	p.blocks = 0
 	p.keys = all
-	m.seqs[parentID] = p
+	m.seqs[parentID-m.base] = p
 	m.allocSeq++
-	m.seqs[childID] = seqAlloc{tokens: p.tokens, keys: append([]uint64(nil), all...), arrival: m.allocSeq}
+	m.setSeq(childID, seqAlloc{tokens: p.tokens, keys: append([]uint64(nil), all...), arrival: m.allocSeq})
 	return nil
 }
 

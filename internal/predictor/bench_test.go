@@ -10,6 +10,7 @@ import (
 // historical split; the paper calls its predictor overhead negligible
 // (< 0.16% of processing time), so training must stay cheap.
 func BenchmarkTrain(b *testing.B) {
+	b.ReportAllocs()
 	reqs := workload.MustGenerate(workload.DefaultConfig(5000, 1))
 	train, _, _ := workload.Split(reqs, 0.6, 0.2)
 	b.ResetTimer()
@@ -23,6 +24,7 @@ func BenchmarkTrain(b *testing.B) {
 // BenchmarkPredictLen measures the per-request inference cost the
 // engine pays at admission.
 func BenchmarkPredictLen(b *testing.B) {
+	b.ReportAllocs()
 	reqs := workload.MustGenerate(workload.DefaultConfig(4000, 1))
 	train, _, test := workload.Split(reqs, 0.6, 0.2)
 	c, err := Train(train, DefaultTrainConfig())

@@ -1,11 +1,19 @@
 // Package runtime implements the paper's distributed runtime — the
 // execution plane of the hierarchy-controller structure (§3.2). Each
-// GPU is served by a worker actor running in its own goroutine with a
-// channel mailbox; the centralized engine (the control plane, package
-// core) sends typed control messages and receives typed replies, never
-// touching worker state directly. Workers know only their own stage,
-// their rank in the global communication context, and which neighbour
-// they send activations to — the SPMD property of §3.2.2.
+// GPU is served by a worker endpoint; the centralized engine (the
+// control plane, package core) sends typed control messages and
+// receives typed replies, never touching worker state directly. Workers
+// know only their own stage, their rank in the global communication
+// context, and which neighbour they send activations to — the SPMD
+// property of §3.2.2.
+//
+// Three transports implement the control plane's Caller view of a
+// worker: DirectCaller dispatches messages as plain method calls (no
+// goroutine, no channel — the zero-roundtrip default for simulation),
+// Worker runs a goroutine actor with a channel mailbox, and package rpc
+// carries the same messages over net/rpc. All three are observationally
+// identical; the mailbox and RPC transports model the deployment shapes
+// the paper describes.
 //
 // Virtual time lives in the simulation kernel: a worker computes how
 // long a task runs (via the cost model, standing in for the GPU), and
@@ -94,11 +102,120 @@ func (Ack) isMsg()         {}
 func (ErrorReply) isMsg()  {}
 
 // Caller is the control plane's view of a worker endpoint: send one
-// control message, get one reply. Implemented by *Worker (in-process
-// mailbox) and by the RPC client in package rpc.
+// control message, get one reply. Implemented by *DirectCaller (plain
+// method calls), *Worker (in-process mailbox) and by the RPC client in
+// package rpc.
 type Caller interface {
 	Call(Msg) Msg
 }
+
+// workerState is the execution-plane logic, independent of transport.
+// Every transport routes messages to exactly one workerState, which is
+// mutated only by Init, so the one-message-at-a-time discipline of the
+// control plane keeps it race-free on all transports.
+type workerState struct {
+	rank  int
+	world int
+	plan  model.PipelinePlan
+	cost  *costmodel.Model
+	ready bool
+}
+
+// handle processes one control message and produces its reply.
+func (w *workerState) handle(msg Msg) Msg {
+	switch m := msg.(type) {
+	case Init:
+		if m.Rank < 0 || m.Rank >= m.World || m.World != len(m.Plan.Stages) {
+			return ErrorReply{fmt.Errorf("runtime: bad init rank=%d world=%d stages=%d", m.Rank, m.World, len(m.Plan.Stages))}
+		}
+		w.rank, w.world, w.plan, w.cost = m.Rank, m.World, m.Plan, m.Cost
+		w.ready = true
+		return InitAck{Rank: w.rank, WeightBytes: w.plan.StageWeightBytes(w.rank)}
+	case ExecPrefill, ExecDecode, ExecChunked, ExecHybrid:
+		er, err := w.exec(msg)
+		if err != nil {
+			return ErrorReply{err}
+		}
+		return er
+	case Shutdown:
+		return Ack{}
+	default:
+		return ErrorReply{fmt.Errorf("runtime: unknown message %T", msg)}
+	}
+}
+
+// exec runs one execution message without boxing the result into a Msg
+// — the hot path the direct transport calls per pipeline stage.
+func (w *workerState) exec(msg Msg) (ExecResult, error) {
+	if !w.ready {
+		return ExecResult{}, fmt.Errorf("runtime: exec before init")
+	}
+	switch m := msg.(type) {
+	case ExecPrefill:
+		return ExecResult{
+			Rank:       w.rank,
+			Dur:        w.cost.PrefillStage(w.plan, w.rank, m.Batch),
+			SendTokens: w.sendTokens(m.Batch.Tokens),
+		}, nil
+	case ExecDecode:
+		return w.execDecode(m)
+	case ExecChunked:
+		return ExecResult{
+			Rank:       w.rank,
+			Dur:        w.cost.ChunkedPrefillStage(w.plan, w.rank, m.ChunkTokens, m.CtxTokens),
+			SendTokens: w.sendTokens(m.ChunkTokens),
+		}, nil
+	case ExecHybrid:
+		return ExecResult{
+			Rank:       w.rank,
+			Dur:        w.cost.HybridStage(w.plan, w.rank, m.DecodeBatch, m.KVTokens, m.ChunkTokens, m.ChunkCtx),
+			SendTokens: w.sendTokens(m.DecodeBatch + m.ChunkTokens),
+		}, nil
+	default:
+		return ExecResult{}, fmt.Errorf("runtime: not an exec message %T", msg)
+	}
+}
+
+// execDecode runs one decode step without any interface traffic — the
+// per-token hot path of the whole simulator.
+func (w *workerState) execDecode(m ExecDecode) (ExecResult, error) {
+	if !w.ready {
+		return ExecResult{}, fmt.Errorf("runtime: exec before init")
+	}
+	return ExecResult{
+		Rank:       w.rank,
+		Dur:        w.cost.DecodeStage(w.plan, w.rank, m.BatchSize, m.KVTokens),
+		SendTokens: w.sendTokens(m.BatchSize),
+	}, nil
+}
+
+// sendTokens returns the activation tokens forwarded downstream, or 0 on
+// the last stage (its output goes back to the engine as metadata, which
+// the paper treats as negligible RPC traffic).
+func (w *workerState) sendTokens(tokens int) int {
+	if w.rank == w.world-1 {
+		return 0
+	}
+	return tokens
+}
+
+// DirectCaller is the zero-roundtrip in-process transport: control
+// messages dispatch as plain method calls on worker state owned by the
+// calling goroutine — no goroutine, no channel, no scheduler crossing.
+// It is the Cluster default. The simulation's single-threaded event
+// loop already serializes control messages, so the mailbox's queueing
+// buys nothing there; keep Worker or package rpc for actor-style or
+// cross-process deployments.
+type DirectCaller struct {
+	state workerState
+}
+
+// NewDirectCaller returns an uninitialized direct worker endpoint; send
+// Init before exec messages, as with every transport.
+func NewDirectCaller() *DirectCaller { return &DirectCaller{} }
+
+// Call dispatches msg synchronously on the caller's goroutine.
+func (d *DirectCaller) Call(msg Msg) Msg { return d.state.handle(msg) }
 
 // call pairs a message with its reply channel.
 type call struct {
@@ -106,16 +223,11 @@ type call struct {
 	reply chan Msg
 }
 
-// Worker is one execution-plane actor.
+// Worker is one execution-plane actor: the mailbox transport. Each
+// worker owns a goroutine that drains a channel of control messages.
 type Worker struct {
 	inbox chan call
-
-	// Worker-local state, owned by the worker goroutine after start.
-	rank  int
-	world int
-	plan  model.PipelinePlan
-	cost  *costmodel.Model
-	ready bool
+	state workerState
 }
 
 // NewWorker starts a worker goroutine and returns its handle.
@@ -136,72 +248,10 @@ func (w *Worker) Call(msg Msg) Msg {
 
 func (w *Worker) loop() {
 	for c := range w.inbox {
-		reply := w.handle(c.msg)
+		reply := w.state.handle(c.msg)
 		c.reply <- reply
 		if _, stop := c.msg.(Shutdown); stop {
 			return
 		}
 	}
-}
-
-func (w *Worker) handle(msg Msg) Msg {
-	switch m := msg.(type) {
-	case Init:
-		if m.Rank < 0 || m.Rank >= m.World || m.World != len(m.Plan.Stages) {
-			return ErrorReply{fmt.Errorf("runtime: bad init rank=%d world=%d stages=%d", m.Rank, m.World, len(m.Plan.Stages))}
-		}
-		w.rank, w.world, w.plan, w.cost = m.Rank, m.World, m.Plan, m.Cost
-		w.ready = true
-		return InitAck{Rank: w.rank, WeightBytes: w.plan.StageWeightBytes(w.rank)}
-	case ExecPrefill:
-		if !w.ready {
-			return ErrorReply{fmt.Errorf("runtime: exec before init")}
-		}
-		return ExecResult{
-			Rank:       w.rank,
-			Dur:        w.cost.PrefillStage(w.plan, w.rank, m.Batch),
-			SendTokens: w.sendTokens(m.Batch.Tokens),
-		}
-	case ExecDecode:
-		if !w.ready {
-			return ErrorReply{fmt.Errorf("runtime: exec before init")}
-		}
-		return ExecResult{
-			Rank:       w.rank,
-			Dur:        w.cost.DecodeStage(w.plan, w.rank, m.BatchSize, m.KVTokens),
-			SendTokens: w.sendTokens(m.BatchSize),
-		}
-	case ExecChunked:
-		if !w.ready {
-			return ErrorReply{fmt.Errorf("runtime: exec before init")}
-		}
-		return ExecResult{
-			Rank:       w.rank,
-			Dur:        w.cost.ChunkedPrefillStage(w.plan, w.rank, m.ChunkTokens, m.CtxTokens),
-			SendTokens: w.sendTokens(m.ChunkTokens),
-		}
-	case ExecHybrid:
-		if !w.ready {
-			return ErrorReply{fmt.Errorf("runtime: exec before init")}
-		}
-		return ExecResult{
-			Rank:       w.rank,
-			Dur:        w.cost.HybridStage(w.plan, w.rank, m.DecodeBatch, m.KVTokens, m.ChunkTokens, m.ChunkCtx),
-			SendTokens: w.sendTokens(m.DecodeBatch + m.ChunkTokens),
-		}
-	case Shutdown:
-		return Ack{}
-	default:
-		return ErrorReply{fmt.Errorf("runtime: unknown message %T", msg)}
-	}
-}
-
-// sendTokens returns the activation tokens forwarded downstream, or 0 on
-// the last stage (its output goes back to the engine as metadata, which
-// the paper treats as negligible RPC traffic).
-func (w *Worker) sendTokens(tokens int) int {
-	if w.rank == w.world-1 {
-		return 0
-	}
-	return tokens
 }

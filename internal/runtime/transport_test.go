@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// The direct (zero-roundtrip) transport must be observationally
+// identical to the goroutine mailbox: same replies for every message.
+func TestDirectCallerEquivalentToMailbox(t *testing.T) {
+	plan, err := model.Partition(model.Tiny, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := costmodel.New(hw.L20, model.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		direct := NewDirectCaller()
+		mailbox := NewWorker()
+		defer mailbox.Call(Shutdown{})
+		init := Init{Plan: plan, Rank: rank, World: 2, Cost: cm}
+		d1, d2 := direct.Call(init), mailbox.Call(init)
+		if d1 != d2 {
+			t.Fatalf("init replies differ: %#v vs %#v", d1, d2)
+		}
+		tasks := []Msg{
+			ExecPrefill{Batch: costmodel.NewPrefillBatch([]int{64, 128})},
+			ExecDecode{BatchSize: 16, KVTokens: 1600},
+			ExecChunked{ChunkTokens: 32, CtxTokens: 64},
+			ExecHybrid{DecodeBatch: 8, KVTokens: 800, ChunkTokens: 16, ChunkCtx: 32},
+		}
+		for _, task := range tasks {
+			r1 := direct.Call(task)
+			r2 := mailbox.Call(task)
+			e1, ok1 := r1.(ExecResult)
+			e2, ok2 := r2.(ExecResult)
+			if !ok1 || !ok2 {
+				t.Fatalf("replies %#v vs %#v", r1, r2)
+			}
+			if math.Abs(e1.Dur-e2.Dur) != 0 || e1.SendTokens != e2.SendTokens {
+				t.Errorf("%T: direct %+v != mailbox %+v", task, e1, e2)
+			}
+		}
+	}
+}
+
+// Direct endpoints report errors the same way the mailbox does.
+func TestDirectCallerErrors(t *testing.T) {
+	d := NewDirectCaller()
+	if rep := d.Call(ExecDecode{BatchSize: 1, KVTokens: 1}); !isErr(rep) {
+		t.Errorf("exec before init replied %#v", rep)
+	}
+	plan, _ := model.Partition(model.Tiny, 2)
+	cm, _ := costmodel.New(hw.L20, model.Tiny)
+	if rep := d.Call(Init{Plan: plan, Rank: 5, World: 2, Cost: cm}); !isErr(rep) {
+		t.Errorf("bad rank accepted: %#v", rep)
+	}
+	if rep := d.Call(Ack{}); !isErr(rep) {
+		t.Errorf("unknown message replied %#v", rep)
+	}
+	if _, ok := d.Call(Shutdown{}).(Ack); !ok {
+		t.Error("shutdown not acknowledged")
+	}
+}
+
+// A cluster on the mailbox transport produces the exact same schedule
+// as the default direct cluster, for both task-based and decode-spec
+// passes.
+func TestClusterScheduleIdenticalAcrossTransports(t *testing.T) {
+	run := func(tr Transport) (prefillEnd, decodeEnd sim.Time) {
+		eng := sim.NewEngine()
+		c, err := NewClusterTransport(eng, hw.L20, model.Tiny, 4, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		c.SubmitPass(PrefillTask(costmodel.NewPrefillBatch([]int{256, 64})), 0, func(r PassResult) {
+			prefillEnd = r.End
+			c.SubmitDecode(4, 1280, r.End, func(r2 PassResult) { decodeEnd = r2.End })
+		})
+		eng.Run()
+		return prefillEnd, decodeEnd
+	}
+	p1, d1 := run(TransportDirect)
+	p2, d2 := run(TransportMailbox)
+	if p1 != p2 || d1 != d2 {
+		t.Errorf("schedules differ: direct (%v, %v) vs mailbox (%v, %v)", p1, d1, p2, d2)
+	}
+	if d1 <= p1 || p1 <= 0 {
+		t.Errorf("implausible schedule: prefill end %v, decode end %v", p1, d1)
+	}
+}
+
+// SubmitDecode must time exactly like the equivalent DecodeTask pass —
+// it is an allocation optimization, not a semantic change.
+func TestSubmitDecodeMatchesDecodeTask(t *testing.T) {
+	run := func(useSpec bool) sim.Time {
+		eng := sim.NewEngine()
+		c, err := NewCluster(eng, hw.L20, model.Tiny, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		var end sim.Time
+		done := func(r PassResult) { end = r.End }
+		if useSpec {
+			c.SubmitDecode(8, 960, 0, done)
+		} else {
+			c.SubmitPass(DecodeTask(8, 960), 0, done)
+		}
+		eng.Run()
+		return end
+	}
+	if a, b := run(true), run(false); a != b || a <= 0 {
+		t.Errorf("SubmitDecode end %v != DecodeTask end %v", a, b)
+	}
+}
+
+// Interleaved pooled passes must not share result state: two
+// overlapping passes completing at different times keep distinct
+// StageEnds during their callbacks.
+func TestPooledPassesDoNotAlias(t *testing.T) {
+	eng := sim.NewEngine()
+	c, err := NewCluster(eng, hw.L20, model.Tiny, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	type seen struct {
+		start, end sim.Time
+		stages     []sim.Time
+	}
+	var got []seen
+	capture := func(r PassResult) {
+		s := seen{start: r.Start, end: r.End}
+		s.stages = append(s.stages, r.StageEnds...) // copy: recycled after return
+		got = append(got, s)
+	}
+	for i := 0; i < 4; i++ {
+		c.SubmitDecode(4+i, 400, 0, capture)
+	}
+	eng.Run()
+	if len(got) != 4 {
+		t.Fatalf("completed %d of 4 passes", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].end <= got[i-1].end {
+			t.Errorf("pass %d ended at %v, not after pass %d at %v", i, got[i].end, i-1, got[i-1].end)
+		}
+		if got[i].stages[1] != got[i].end {
+			t.Errorf("pass %d stage end %v != end %v", i, got[i].stages[1], got[i].end)
+		}
+	}
+}

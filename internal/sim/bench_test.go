@@ -3,7 +3,9 @@ package sim
 import "testing"
 
 // BenchmarkEventThroughput measures raw event dispatch rate — the DES
-// kernel's hot path.
+// kernel's hot path — and reports it as steps/sec. Steady state is
+// allocation-free: the closure is shared and event bodies recycle
+// through the pool.
 func BenchmarkEventThroughput(b *testing.B) {
 	e := NewEngine()
 	n := 0
@@ -14,15 +16,37 @@ func BenchmarkEventThroughput(b *testing.B) {
 			e.After(1, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.After(1, tick)
 	e.Run()
+	b.ReportMetric(float64(e.Steps())/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkEventThroughputAtFunc measures the closure-free fast path:
+// a fixed callback with a context pointer and integer arguments.
+func BenchmarkEventThroughputAtFunc(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick EventFunc
+	tick = func(ctx any, _, _ int) {
+		n++
+		if n < b.N {
+			e.AfterFunc(1, tick, ctx, 0, 0)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.AfterFunc(1, tick, e, 0, 0)
+	e.Run()
+	b.ReportMetric(float64(e.Steps())/b.Elapsed().Seconds(), "steps/s")
 }
 
 // BenchmarkResourceAcquire measures FIFO reservation cost.
 func BenchmarkResourceAcquire(b *testing.B) {
 	e := NewEngine()
 	r := NewResource(e, "gpu")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Acquire(Time(i), 0.5, nil)
@@ -30,13 +54,38 @@ func BenchmarkResourceAcquire(b *testing.B) {
 }
 
 // BenchmarkHeapChurn measures interleaved scheduling at many distinct
-// times (worst case for the event heap).
+// times with the full b.N backlog queued at once (worst case for the
+// event heap: every sift walks a deep, cache-cold tree).
 func BenchmarkHeapChurn(b *testing.B) {
 	e := NewEngine()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := Time(i % 1024)
 		e.At(t+Time(b.N), func() {})
 	}
 	e.Run()
+}
+
+// BenchmarkSteadyChurn measures the simulator's realistic regime: a
+// bounded pending set (as produced by in-flight pipeline passes and
+// arrivals) with one push per pop.
+func BenchmarkSteadyChurn(b *testing.B) {
+	e := NewEngine()
+	const pending = 1024
+	n := 0
+	var tick EventFunc
+	tick = func(ctx any, i, _ int) {
+		n++
+		if n+pending <= b.N {
+			e.AfterFunc(float64(1+i%7), tick, ctx, i, 0)
+		}
+	}
+	for i := 0; i < pending && i < b.N; i++ {
+		e.AfterFunc(float64(1+i%7), tick, e, i, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.ReportMetric(float64(e.Steps())/b.Elapsed().Seconds(), "steps/s")
 }

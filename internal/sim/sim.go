@@ -6,10 +6,15 @@
 // guaranteed by breaking time ties with a monotonically increasing
 // sequence number, so two runs with the same seed produce identical
 // traces.
+//
+// The kernel is built for throughput: the priority queue is a 4-ary
+// heap of small value-typed entries (time, sequence, body index), the
+// event bodies live in an arena recycled through a free list, and
+// AtFunc schedules fixed callbacks without allocating a closure. In
+// steady state the hot path performs no heap allocation per event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -23,40 +28,57 @@ type Duration = float64
 // Infinity is a time later than any event the simulation will produce.
 const Infinity Time = Time(math.MaxFloat64)
 
-// event is a scheduled callback.
+// EventFunc is the fast-path callback signature used by AtFunc: a fixed
+// function plus a context and two integer arguments. Passing a
+// package-level function and a long-lived pointer context schedules an
+// event with zero allocations.
+type EventFunc func(ctx any, a, b int)
+
+// event is a scheduled callback's body. Bodies live in the engine's
+// arena, indexed by heap entries and recycled through a free list, so
+// completed events cost no garbage.
 type event struct {
+	// fn is the closure path (At / After / Immediately).
+	fn func()
+	// cb, ctx, a, b are the allocation-free path (AtFunc); used when
+	// fn is nil.
+	cb  EventFunc
+	ctx any
+	a   int
+	b   int
+	// next links the free list while the slot is recycled.
+	next int32
+}
+
+// entry is one element of the event heap: the ordering key plus the
+// body's arena index. Entries are small values, so sift operations move
+// 24 bytes over contiguous memory instead of chasing pointers.
+type entry struct {
 	at  Time
 	seq uint64
-	fn  func()
+	idx int32
 }
 
-// eventHeap is a min-heap over (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires before b: earlier time first, with
+// ties broken by scheduling order.
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+	// heap is a 4-ary min-heap over (at, seq): shallower than a binary
+	// heap, and the four-way child comparison scans adjacent memory.
+	heap  []entry
+	arena []event
+	// free heads the recycled-body list; -1 when empty.
+	free    int32
 	stopped bool
 	steps   uint64
 	// MaxSteps bounds the number of events processed by Run as a
@@ -66,14 +88,84 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{free: -1}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Steps returns the number of events processed so far.
+// Steps returns the number of events processed so far. Dividing by
+// elapsed wall-clock time yields the kernel's steps/sec rate.
 func (e *Engine) Steps() uint64 { return e.steps }
+
+// alloc takes a body slot from the free list, growing the arena only
+// when no completed event can be recycled.
+func (e *Engine) alloc() int32 {
+	if i := e.free; i >= 0 {
+		e.free = e.arena[i].next
+		return i
+	}
+	e.arena = append(e.arena, event{})
+	return int32(len(e.arena) - 1)
+}
+
+// recycle clears a completed body (releasing fn/ctx to the GC) and
+// pushes its slot onto the free list.
+func (e *Engine) recycle(i int32) {
+	e.arena[i] = event{next: e.free}
+	e.free = i
+}
+
+// push inserts a heap entry for body idx at time t.
+func (e *Engine) push(t Time, idx int32) {
+	e.seq++
+	ent := entry{at: t, seq: e.seq, idx: idx}
+	e.heap = append(e.heap, ent)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ent.before(e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		i = p
+	}
+	e.heap[i] = ent
+}
+
+// pop removes and returns the earliest entry.
+func (e *Engine) pop() entry {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	ent := e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			hi := c + 4
+			if hi > n {
+				hi = n
+			}
+			for k := c + 1; k < hi; k++ {
+				if e.heap[k].before(e.heap[m]) {
+					m = k
+				}
+			}
+			if !e.heap[m].before(ent) {
+				break
+			}
+			e.heap[i] = e.heap[m]
+			i = m
+		}
+		e.heap[i] = ent
+	}
+	return top
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it indicates a scheduler bug, not a recoverable condition.
@@ -81,8 +173,23 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	idx := e.alloc()
+	e.arena[idx].fn = fn
+	e.push(t, idx)
+}
+
+// AtFunc schedules cb(ctx, a, b) at absolute time t. It is the hot-path
+// scheduling primitive: unlike At no closure is allocated, so with a
+// package-level cb and a pointer ctx the event costs only a recycled
+// arena slot. Scheduling in the past panics, as with At.
+func (e *Engine) AtFunc(t Time, cb EventFunc, ctx any, a, b int) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	idx := e.alloc()
+	ev := &e.arena[idx]
+	ev.cb, ev.ctx, ev.a, ev.b = cb, ctx, a, b
+	e.push(t, idx)
 }
 
 // After schedules fn to run d seconds from now.
@@ -93,6 +200,15 @@ func (e *Engine) After(d Duration, fn func()) {
 	e.At(e.now+Time(d), fn)
 }
 
+// AfterFunc schedules cb(ctx, a, b) d seconds from now, allocation-free
+// like AtFunc.
+func (e *Engine) AfterFunc(d Duration, cb EventFunc, ctx any, a, b int) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.AtFunc(e.now+Time(d), cb, ctx, a, b)
+}
+
 // Immediately schedules fn at the current time, after all events already
 // scheduled for the current time.
 func (e *Engine) Immediately(fn func()) { e.At(e.now, fn) }
@@ -101,24 +217,36 @@ func (e *Engine) Immediately(fn func()) { e.At(e.now, fn) }
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// dispatch advances the clock to ent and invokes its callback. The body
+// is copied out and recycled first, so callbacks are free to schedule
+// new events into the just-vacated slot.
+func (e *Engine) dispatch(ent entry) {
+	if ent.at < e.now {
+		panic("sim: event heap time went backwards")
+	}
+	e.now = ent.at
+	e.steps++
+	if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+		panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
+	}
+	ev := e.arena[ent.idx]
+	e.recycle(ent.idx)
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.cb(ev.ctx, ev.a, ev.b)
+	}
+}
 
 // Run executes events in order until the queue is empty, Stop is called,
 // or MaxSteps is exceeded (which panics, as it indicates a scheduler
 // livelock). It returns the final virtual time.
 func (e *Engine) Run() Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at < e.now {
-			panic("sim: event heap time went backwards")
-		}
-		e.now = ev.at
-		e.steps++
-		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
-			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
-		}
-		ev.fn()
+	for len(e.heap) > 0 && !e.stopped {
+		e.dispatch(e.pop())
 	}
 	return e.now
 }
@@ -128,18 +256,12 @@ func (e *Engine) Run() Time {
 // any events remained).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > deadline {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > deadline {
 			e.now = deadline
 			return e.now
 		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		e.steps++
-		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
-			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
-		}
-		ev.fn()
+		e.dispatch(e.pop())
 	}
 	return e.now
 }
