@@ -7,7 +7,7 @@ FUZZTIME ?= 30s
 # artifacts accumulate into a perf trajectory).
 BENCH_N ?= local
 
-.PHONY: build vet fmt-check test race bench bench-json bench-compare fuzz ci
+.PHONY: build vet fmt-check test race bench bench-json bench-compare fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -55,4 +55,11 @@ bench-compare:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGenerateSplitInvariants -fuzztime=$(FUZZTIME) ./internal/workload/
 
-ci: build vet test race
+# Smoke-run the disaggregated serving sweep at tiny scale through the
+# real CLI: exercises the whole hand-off path (prefill pool -> KV
+# export -> modeled transfer -> import -> continuous-batching decode)
+# so the -exp disagg surface cannot rot unnoticed.
+smoke:
+	$(GO) run ./cmd/tdpipe -exp disagg -requests 250 -pool 2000
+
+ci: build vet test race smoke

@@ -18,7 +18,10 @@
 // In -compare mode the two snapshots are diffed per benchmark and the
 // exit status is non-zero when any shared benchmark regresses more
 // than -threshold percent in ns/op — the advisory perf gate CI runs
-// against the merge base.
+// against the merge base. Benchmarks present in only one snapshot are
+// reported explicitly ("(new)" / "(removed)"), as are entries with no
+// usable baseline (old ns/op of zero); none of them can fail the gate,
+// so adding or retiring benchmarks never breaks a PR.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -99,19 +103,75 @@ func readSnapshot(path string) (Snapshot, error) {
 	return snap, nil
 }
 
-// pct returns the relative change from old to new in percent, or 0 if
-// old is zero (no baseline to compare against).
+// pct returns the relative change from old to new in percent. The
+// caller must ensure old is non-zero; entries without a usable
+// baseline are reported separately instead of risking a divide-by-zero
+// turning the delta column into ±Inf/NaN.
 func pct(old, new float64) float64 {
-	if old == 0 {
-		return 0
-	}
 	return 100 * (new - old) / old
 }
 
-// compareSnapshots prints per-benchmark deltas and returns the exit
-// code: 1 if any benchmark present in both snapshots regressed more
-// than threshold percent in ns/op.
-func compareSnapshots(oldPath, newPath string, threshold float64) int {
+// compareSnapshots prints per-benchmark deltas to w and returns the
+// number of regressions beyond threshold percent in ns/op. Only
+// benchmarks present in both snapshots with a positive old ns/op can
+// regress: new benchmarks, removed benchmarks and zero baselines are
+// reported on their own lines and never affect the count, so the exit
+// status tracks genuine regressions only.
+func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64) (regressed int) {
+	names := make([]string, 0, len(newSnap.Benchmarks))
+	for name := range newSnap.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-55s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	added, baselineless := 0, 0
+	for _, name := range names {
+		n := newSnap.Benchmarks[name]
+		o, ok := oldSnap.Benchmarks[name]
+		switch {
+		case !ok:
+			added++
+			fmt.Fprintf(w, "%-55s %14s %14.0f %8s %10.0f\n", name, "(new)", n.NsPerOp, "", n.AllocsPerOp)
+		case o.NsPerOp <= 0:
+			baselineless++
+			fmt.Fprintf(w, "%-55s %14s %14.0f %8s %10.0f\n", name, "(no baseline)", n.NsPerOp, "", n.AllocsPerOp)
+		default:
+			d := pct(o.NsPerOp, n.NsPerOp)
+			mark := ""
+			if d > threshold {
+				mark = "  << REGRESSION"
+				regressed++
+			}
+			fmt.Fprintf(w, "%-55s %14.0f %14.0f %+7.1f%% %5.0f→%-5.0f%s\n",
+				name, o.NsPerOp, n.NsPerOp, d, o.AllocsPerOp, n.AllocsPerOp, mark)
+		}
+	}
+	removed := make([]string, 0)
+	for name := range oldSnap.Benchmarks {
+		if _, ok := newSnap.Benchmarks[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-55s (removed)\n", name)
+	}
+	if added+len(removed)+baselineless > 0 {
+		fmt.Fprintf(w, "\n%d new, %d removed, %d without baseline (reported only; never fail the gate)\n",
+			added, len(removed), baselineless)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, threshold)
+	} else {
+		fmt.Fprintf(w, "\nno ns/op regression beyond %.0f%%\n", threshold)
+	}
+	return regressed
+}
+
+// compareFiles loads and diffs two snapshot files, returning the
+// process exit code.
+func compareFiles(oldPath, newPath string, threshold float64) int {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -122,40 +182,9 @@ func compareSnapshots(oldPath, newPath string, threshold float64) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
-	names := make([]string, 0, len(newSnap.Benchmarks))
-	for name := range newSnap.Benchmarks {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	fmt.Printf("%-55s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
-	regressed := 0
-	for _, name := range names {
-		n := newSnap.Benchmarks[name]
-		o, ok := oldSnap.Benchmarks[name]
-		if !ok {
-			fmt.Printf("%-55s %14s %14.0f %8s %10.0f\n", name, "(new)", n.NsPerOp, "", n.AllocsPerOp)
-			continue
-		}
-		d := pct(o.NsPerOp, n.NsPerOp)
-		mark := ""
-		if d > threshold {
-			mark = "  << REGRESSION"
-			regressed++
-		}
-		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%% %5.0f→%-5.0f%s\n",
-			name, o.NsPerOp, n.NsPerOp, d, o.AllocsPerOp, n.AllocsPerOp, mark)
-	}
-	for name := range oldSnap.Benchmarks {
-		if _, ok := newSnap.Benchmarks[name]; !ok {
-			fmt.Printf("%-55s (removed)\n", name)
-		}
-	}
-	if regressed > 0 {
-		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, threshold)
+	if compareSnapshots(os.Stdout, oldSnap, newSnap, threshold) > 0 {
 		return 1
 	}
-	fmt.Printf("\nno ns/op regression beyond %.0f%%\n", threshold)
 	return 0
 }
 
@@ -169,7 +198,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold pct] old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(compareSnapshots(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *threshold))
 	}
 
 	snap := Snapshot{Benchmarks: map[string]Metrics{}}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func snap(entries map[string]float64) Snapshot {
+	s := Snapshot{Benchmarks: map[string]Metrics{}}
+	for name, ns := range entries {
+		s.Benchmarks[name] = Metrics{NsPerOp: ns}
+	}
+	return s
+}
+
+func TestParseLine(t *testing.T) {
+	name, m, ok := parseLine("BenchmarkAppend-8   1000000   105.3 ns/op   16 B/op   1 allocs/op")
+	if !ok || name != "BenchmarkAppend" {
+		t.Fatalf("parse = %q, %v", name, ok)
+	}
+	if m.NsPerOp != 105.3 || m.BytesPerOp != 16 || m.AllocsPerOp != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+}
+
+// Compare is table-driven over the snapshot edge cases: regression
+// detection, zero/missing baselines, and additions/removals — none of
+// which may flip the exit status or produce Inf/NaN deltas.
+func TestCompareSnapshots(t *testing.T) {
+	cases := []struct {
+		name           string
+		old, new       map[string]float64
+		wantRegressed  int
+		wantContains   []string
+		wantNoContains []string
+	}{
+		{
+			name:          "regression detected",
+			old:           map[string]float64{"BenchmarkA": 100},
+			new:           map[string]float64{"BenchmarkA": 200},
+			wantRegressed: 1,
+			wantContains:  []string{"<< REGRESSION"},
+		},
+		{
+			name:          "improvement passes",
+			old:           map[string]float64{"BenchmarkA": 200},
+			new:           map[string]float64{"BenchmarkA": 100},
+			wantRegressed: 0,
+			wantContains:  []string{"-50.0%"},
+		},
+		{
+			name:           "zero old ns/op never divides",
+			old:            map[string]float64{"BenchmarkA": 0},
+			new:            map[string]float64{"BenchmarkA": 1e9},
+			wantRegressed:  0,
+			wantContains:   []string{"(no baseline)"},
+			wantNoContains: []string{"Inf", "NaN", "REGRESSION"},
+		},
+		{
+			name:          "additions reported, exit unaffected",
+			old:           map[string]float64{"BenchmarkA": 100},
+			new:           map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 5e9},
+			wantRegressed: 0,
+			wantContains:  []string{"(new)", "1 new, 0 removed"},
+		},
+		{
+			name:          "removals reported, exit unaffected",
+			old:           map[string]float64{"BenchmarkA": 100, "BenchmarkGone": 50},
+			new:           map[string]float64{"BenchmarkA": 100},
+			wantRegressed: 0,
+			wantContains:  []string{"BenchmarkGone", "(removed)"},
+		},
+		{
+			name:          "disjoint snapshots are all additions and removals",
+			old:           map[string]float64{"BenchmarkOld": 50},
+			new:           map[string]float64{"BenchmarkNew": 70},
+			wantRegressed: 0,
+			wantContains:  []string{"(new)", "(removed)", "1 new, 1 removed"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			got := compareSnapshots(&sb, snap(tc.old), snap(tc.new), 15)
+			if got != tc.wantRegressed {
+				t.Errorf("regressed = %d, want %d\n%s", got, tc.wantRegressed, sb.String())
+			}
+			for _, want := range tc.wantContains {
+				if !strings.Contains(sb.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, sb.String())
+				}
+			}
+			for _, avoid := range tc.wantNoContains {
+				if strings.Contains(sb.String(), avoid) {
+					t.Errorf("output contains %q:\n%s", avoid, sb.String())
+				}
+			}
+		})
+	}
+}
+
+func TestPctFinite(t *testing.T) {
+	if d := pct(100, 115); math.Abs(d-15) > 1e-9 {
+		t.Errorf("pct(100,115) = %v", d)
+	}
+	if d := pct(100, 100); d != 0 {
+		t.Errorf("pct(100,100) = %v", d)
+	}
+}

@@ -7,6 +7,7 @@
 //	tdpipe-sim -sched pp+hb -node L20 -model 32B -out run/   # CSV + JSON
 //	tdpipe-sim -replicas 4 -policy predicted-cost            # fleet mode
 //	tdpipe-sim -arrivals poisson -rate 3 -slo 120            # open-loop
+//	tdpipe-sim -disagg -prefill-replicas 1 -decode-replicas 3 -arrivals bursty -rate 3
 //
 // Schedulers: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload. With
 // -replicas N > 1 the trace is sharded across N data-parallel TD-Pipe
@@ -21,6 +22,13 @@
 // set by -slo (E2E seconds), -slo-ttft and -slo-tpot. In fleet mode an
 // arrival-stamped trace is served by the online router: one shared
 // virtual clock, per-arrival dispatch on live load snapshots.
+//
+// Disaggregated serving: -disagg splits the fleet into a prefill pool
+// (-prefill-replicas) and a decode pool (-decode-replicas); each
+// request prefills in the first pool, its KV migrates over the modeled
+// hand-off link (-kv-bw GB/s, -kv-lat seconds override the node's
+// defaults) and decoding resumes in the second pool. Requires -sched
+// tdpipe; composes with -arrivals and the prefix flags.
 //
 // Shared prefixes: -prefix-groups N stamps the trace with N shared
 // prefix groups (system prompts / multi-turn conversations) of mean
@@ -74,6 +82,12 @@ type options struct {
 	rate     float64
 	slo      metrics.SLO
 
+	disagg          bool
+	prefillReplicas int
+	decodeReplicas  int
+	kvBW            float64
+	kvLat           float64
+
 	prefixGroups  int
 	prefixLen     int
 	prefixTurns   int
@@ -109,6 +123,11 @@ func realMain() int {
 	flag.Float64Var(&o.slo.E2E, "slo", 0, "end-to-end latency SLO in seconds (0 disables)")
 	flag.Float64Var(&o.slo.TTFT, "slo-ttft", 0, "time-to-first-token SLO in seconds (0 disables)")
 	flag.Float64Var(&o.slo.TPOT, "slo-tpot", 0, "time-per-output-token SLO in seconds (0 disables)")
+	flag.BoolVar(&o.disagg, "disagg", false, "disaggregated mode: dedicated prefill and decode pools with KV hand-off (requires -sched tdpipe)")
+	flag.IntVar(&o.prefillReplicas, "prefill-replicas", 1, "prefill-pool replicas in -disagg mode")
+	flag.IntVar(&o.decodeReplicas, "decode-replicas", 3, "decode-pool replicas in -disagg mode")
+	flag.Float64Var(&o.kvBW, "kv-bw", 0, "KV hand-off link bandwidth in GB/s (0 keeps the node default)")
+	flag.Float64Var(&o.kvLat, "kv-lat", 0, "KV hand-off link latency in seconds (0 keeps the node default)")
 	flag.IntVar(&o.prefixGroups, "prefix-groups", 0, "shared-prefix groups to stamp on the trace (0 disables prefix structure)")
 	flag.IntVar(&o.prefixLen, "prefix-len", 256, "mean shared-prefix length in tokens")
 	flag.IntVar(&o.prefixTurns, "prefix-turns", 4, "conversation depth: turns over which a group's prefix grows")
@@ -253,6 +272,60 @@ func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Re
 	return nil
 }
 
+// runDisagg serves the sample on a disaggregated fleet: a prefill pool
+// feeding a decode pool through the modeled KV hand-off link.
+func runDisagg(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Request, open bool) error {
+	cfg := core.DefaultConfig(node, spec, o.gpus)
+	cfg.SLO = o.slo
+	cfg.DisablePrefixCache = o.noPrefixCache
+	if !o.oracle {
+		clf, err := trainedPredictor(pool)
+		if err != nil {
+			return err
+		}
+		cfg.Predictor = clf
+	}
+	dc := fleet.DisaggConfig{PrefillReplicas: o.prefillReplicas, DecodeReplicas: o.decodeReplicas}
+	res, err := fleet.RunDisagg(cfg, dc, reqs)
+	if err != nil {
+		return err
+	}
+	for i, rr := range res.Prefill {
+		fmt.Printf("prefill %d: %d reqs, %.1fs, %.0f tok/s total, util %.1f%%\n",
+			i, rr.Report.Requests, rr.Report.Elapsed,
+			rr.Report.TotalThroughput(), 100*rr.Report.MeanUtilization)
+	}
+	for i, rr := range res.Decode {
+		fmt.Printf("decode %d: %d reqs, %.1fs, %.0f tok/s out, util %.1f%%\n",
+			i, rr.Report.Requests, rr.Report.Elapsed,
+			rr.Report.OutputThroughput(), 100*rr.Report.MeanUtilization)
+	}
+	fmt.Println(res.Report)
+	fmt.Printf("output throughput: %.0f tokens/s, total: %.0f tokens/s\n",
+		res.Report.OutputThroughput(), res.Report.TotalThroughput())
+	fmt.Printf("hand-offs: %d (%d queued for headroom), %.2f GB KV migrated\n",
+		res.Handoffs, res.QueuedHandoffs, res.TransferredBytes/1e9)
+	printLatency(res.Report, open)
+	printPrefix(res.Report)
+
+	if o.outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.outDir, 0o755); err != nil {
+		return err
+	}
+	j, err := os.Create(filepath.Join(o.outDir, "run.json"))
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	if err := trace.WriteRunJSON(j, trace.Run{Report: res.Report}); err != nil {
+		return err
+	}
+	fmt.Printf("exported aggregate report to %s\n", o.outDir)
+	return nil
+}
+
 func run(o options) error {
 	node, err := pickNode(o.node)
 	if err != nil {
@@ -289,6 +362,39 @@ func run(o options) error {
 		if reqs, err = acfg.Stamp(reqs); err != nil {
 			return err
 		}
+	}
+
+	// Flags are partitioned by mode: fleet flags are meaningless under
+	// -disagg (pools are sized by -prefill/-decode-replicas, the policy
+	// pair is fixed) and the disagg flags do nothing without it. Reject
+	// either mismatch rather than silently substitute defaults.
+	var fleetFlags, disaggFlags []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "replicas", "policy":
+			fleetFlags = append(fleetFlags, "-"+f.Name)
+		case "prefill-replicas", "decode-replicas", "kv-bw", "kv-lat":
+			disaggFlags = append(disaggFlags, "-"+f.Name)
+		}
+	})
+	if o.disagg {
+		if s := strings.ToLower(o.sched); s != "tdpipe" && s != "td-pipe" {
+			return fmt.Errorf("disaggregated mode (-disagg) requires -sched tdpipe, got %q", o.sched)
+		}
+		if len(fleetFlags) > 0 {
+			return fmt.Errorf("disaggregated mode (-disagg) does not take %s; size the pools with -prefill-replicas/-decode-replicas",
+				strings.Join(fleetFlags, ", "))
+		}
+		if o.kvBW > 0 {
+			node.KVLinkGBps = o.kvBW
+		}
+		if o.kvLat > 0 {
+			node.KVLinkLatency = o.kvLat
+		}
+		return runDisagg(o, node, spec, pool, reqs, open)
+	}
+	if len(disaggFlags) > 0 {
+		return fmt.Errorf("%s only take effect with -disagg", strings.Join(disaggFlags, ", "))
 	}
 
 	if o.replicas > 1 {

@@ -111,6 +111,12 @@ type Engine struct {
 	switchToPrefil bool
 	decodeInitial  int
 	decodeFinished int
+	// imported stages SubmitDecoded admissions that arrived while a
+	// phase was active: a dedicated decode server cannot wait for the
+	// whole phase to drain, so staged requests are injected into a
+	// running decode batch at the next step boundary (continuous
+	// batching). Always empty in colocated deployments.
+	imported []int
 
 	step       int
 	kvTimeline *metrics.KVTimeline
@@ -137,6 +143,13 @@ type Engine struct {
 	// completes — the O(1) load-tracking hook online routers use
 	// instead of rescanning outstanding requests.
 	onFinish func(id int)
+
+	// handoff, when set, turns the engine into the prefill half of a
+	// disaggregated deployment: each request that completes prefill
+	// with output still to generate has its KV exported and is handed
+	// to this hook instead of entering the local decode pool. Requests
+	// that finish at prefill (single-token outputs) complete locally.
+	handoff func(Handoff)
 
 	// Scratch buffers recycled across scheduler iterations when
 	// scratchReuse is on: idsFree recycles prefill batch id slices
@@ -194,6 +207,84 @@ func (e *Engine) CapacityTokens() int { return e.capacityTokens }
 // Online routers use it to maintain incremental load counters. Call
 // before the simulation runs; a nil fn disables the hook.
 func (e *Engine) SetOnFinish(fn func(id int)) { e.onFinish = fn }
+
+// Handoff describes a request leaving a prefill-only engine: its
+// original request, the exported KV block window, and the generation
+// state a decode engine needs to resume it via SubmitDecoded.
+type Handoff struct {
+	// Local is the request's id on the prefill engine.
+	Local int
+	// Req is the engine-local copy of the request (ID == Local); the
+	// router maps it back to its trace position.
+	Req workload.Request
+	// KV is the exported block window to migrate.
+	KV kvcache.ExportedSeq
+	// Generated is how many output tokens prefill produced (1, unless
+	// the request was recompute-prefilled after an eviction).
+	Generated int
+	// FirstTokenAt is when the first output token was produced.
+	FirstTokenAt sim.Time
+	// At is when the prefill pass completed — the instant the KV
+	// transfer can start.
+	At sim.Time
+}
+
+// SetHandoff registers fn as the prefill hand-off hook (see Handoff).
+// Call before the simulation runs; a nil fn restores colocated
+// behavior. The hook fires inside the simulation's event context,
+// after the request is retired locally (finish hook included), so load
+// counters are already settled when the router sees the hand-off.
+func (e *Engine) SetHandoff(fn func(Handoff)) { e.handoff = fn }
+
+// SubmitDecoded admits a request whose prefill completed on another
+// engine: the exported KV is re-materialized in this engine's pool and
+// the request joins the decode plane directly, skipping prefill. The
+// caller is responsible for modeling the transfer delay (call at the
+// transfer's completion instant) and for checking CanImportKV first; an
+// import that does not fit is returned as an error, not queued. The
+// request keeps its original arrival and first-token instants, so
+// latency records span the whole disaggregated lifecycle.
+func (e *Engine) SubmitDecoded(r workload.Request, h Handoff) (int, error) {
+	id := len(e.states)
+	r.ID = id
+	if _, err := e.kv.ImportKV(id, h.KV); err != nil {
+		return 0, err
+	}
+	st := e.newState(r)
+	st.ctx = h.KV.Tokens
+	st.generated = h.Generated
+	st.firstTokenAt = h.FirstTokenAt
+	// Shared chain blocks are accounted once globally, like a prefix
+	// hit: this request references them but did not pay for them here.
+	st.cached = len(h.KV.Keys) * e.kv.BlockSize()
+	e.states = append(e.states, st)
+	if e.idle {
+		e.decodePool = append(e.decodePool, id)
+		e.idle = false
+		e.startDecodePhase()
+	} else {
+		// A phase is running: stage the request for continuous
+		// injection at the next decode step boundary (or the next
+		// phase transition, whichever comes first).
+		e.imported = append(e.imported, id)
+	}
+	return id, nil
+}
+
+// CanImportKV reports whether the exported sequence fits in this
+// engine's KV pool right now (warm shared blocks count as reclaimable).
+func (e *Engine) CanImportKV(ex kvcache.ExportedSeq) bool { return e.kv.CanImport(ex) }
+
+// ResidentKVTokens returns how many tokens of the exported sequence's
+// shared blocks are already resident here — KV a hand-off to this
+// engine would not need to move, the decode-pool affinity signal.
+func (e *Engine) ResidentKVTokens(ex kvcache.ExportedSeq) int {
+	return e.kv.ResidentBlocks(ex) * e.kv.BlockSize()
+}
+
+// FreeKVTokens returns the KV headroom in tokens: free blocks plus
+// warm shared blocks reclaimable under pressure.
+func (e *Engine) FreeKVTokens() int { return e.kv.AvailableBlocks() * e.kv.BlockSize() }
 
 // Run executes the full trace to completion in virtual time and returns
 // the report. Requests with ArrivalTime > 0 are admitted only once the
@@ -475,9 +566,15 @@ func (e *Engine) launchPrefills() (launched int) {
 			st := e.states[id]
 			e.usage.UpdateUsage(st.prefillLen-st.cached, st.remainingPredicted())
 		}
-		if e.cfg.FixedPrefillSwitchRatio > 0 {
+		switch {
+		case e.handoff != nil:
+			// A dedicated prefill server has no decode phase to switch
+			// to and its residents leave at prefill completion, so
+			// Algorithm 1's projected-growth stop does not apply:
+			// actual memory is the only admission limit.
+		case e.cfg.FixedPrefillSwitchRatio > 0:
 			switchNow = e.kv.UsageRatio() >= e.cfg.FixedPrefillSwitchRatio
-		} else {
+		default:
 			switchNow = e.usage.ShouldSwitch(e.capacityTokens)
 		}
 	}
@@ -505,14 +602,39 @@ func (e *Engine) onPrefillDone(ids []int, launchID uint64, res runtime.PassResul
 			st.firstTokenAt = res.End
 		}
 		st.generated++ // prefill emits the first output token
-		if st.generated >= st.req.OutputLen {
+		switch {
+		case st.generated >= st.req.OutputLen:
 			e.finishReq(id, res.End)
-		} else {
+		case e.handoff != nil:
+			// Disaggregated prefill: export the KV, retire the request
+			// locally, and hand it to the router. Free-after-export is
+			// a no-op, so finishReq stays the single retirement path.
+			ex, err := e.kv.ExportKV(id)
+			if err != nil {
+				panic(fmt.Sprintf("core: hand-off export of resident request %d: %v", id, err))
+			}
+			h := Handoff{
+				Local:        id,
+				Req:          st.req,
+				KV:           ex,
+				Generated:    st.generated,
+				FirstTokenAt: st.firstTokenAt,
+				At:           res.End,
+			}
+			e.finishReq(id, res.End)
+			e.handoff(h)
+		default:
 			e.decodePool = append(e.decodePool, id)
 		}
 	}
 	e.putScratchIDs(ids)
 	e.recordKV()
+	// A prefill server launches continuously: every completed pass
+	// exported its KV, so freed memory admits more waiting work right
+	// away instead of after a full pipeline drain.
+	if e.handoff != nil && e.waiting.Len() > 0 {
+		e.launchPrefills()
+	}
 	if e.inflight == 0 {
 		e.afterPrefillDrained()
 	}
@@ -525,6 +647,12 @@ func (e *Engine) onPrefillDone(ids []int, launchID uint64, res runtime.PassResul
 func (e *Engine) afterPrefillDrained() {
 	if e.inflight > 0 || e.activeBatches > 0 {
 		return
+	}
+	// Imported requests staged during the drained phase join the pool
+	// now, so a decode server never goes idle over work it holds.
+	if len(e.imported) > 0 {
+		e.decodePool = append(e.decodePool, e.imported...)
+		e.imported = e.imported[:0]
 	}
 	switch {
 	case len(e.decodePool) > 0:
@@ -566,6 +694,7 @@ func (e *Engine) overlapPrefill() {
 	}
 	account(e.stealer.stash)
 	account(e.decodePool)
+	account(e.imported)
 	e.launchPrefills()
 }
 
@@ -672,6 +801,21 @@ func (e *Engine) onDecodeDone(slot int, res runtime.PassResult) {
 	// Approach 2: rebalance through the sliding-window stealer.
 	e.batches[slot] = e.stealer.Rebalance(slot, e.batches[slot])
 
+	// Continuous batching for disaggregated decode: requests imported
+	// mid-phase join this slot's batch at the step boundary instead of
+	// waiting out the phase. (Colocated engines never stage imports.)
+	if len(e.imported) > 0 && !e.switchToPrefil {
+		for _, id := range e.imported {
+			st := e.states[id]
+			if st.done || st.evicted {
+				continue
+			}
+			e.batches[slot] = append(e.batches[slot], id)
+			e.decodeInitial++
+		}
+		e.imported = e.imported[:0]
+	}
+
 	// Approach 3 (or the Fig.-16 ablation): decide whether to switch
 	// back to prefill. On a switch, prefill launches immediately and
 	// overlaps the remaining decode drain.
@@ -737,6 +881,7 @@ func (e *Engine) residentLoad() (n, kvTokens int) {
 	}
 	count(e.stealer.stash)
 	count(e.decodePool)
+	count(e.imported)
 	return
 }
 
@@ -814,6 +959,7 @@ func (e *Engine) handleOOM(needID, slot int) {
 		st.ctx = 0
 		st.cached = 0
 		e.stealer.Remove(id)
+		e.removeImported(id)
 		e.waiting.PushFront(id)
 	}
 	if err := e.kv.Append(needID, 1); err != nil {
@@ -828,7 +974,21 @@ func (e *Engine) handleOOM(needID, slot int) {
 		st.prefillLen = st.req.InputLen + st.generated
 		st.ctx = 0
 		st.cached = 0
+		e.removeImported(needID)
 		e.waiting.PushFront(needID)
+	}
+}
+
+// removeImported drops an evicted request from the staged-import list
+// so its recompute path owns it exclusively (otherwise a later
+// injection could enter it into a decode batch twice). The scan is
+// O(staged) on the rare eviction path only.
+func (e *Engine) removeImported(id int) {
+	for i, v := range e.imported {
+		if v == id {
+			e.imported = append(e.imported[:i], e.imported[i+1:]...)
+			return
+		}
 	}
 }
 

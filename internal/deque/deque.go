@@ -3,6 +3,11 @@
 // at the back, eviction-recompute victims at the front) and pops at the
 // front; the ring buffer makes all of them O(1), replacing the
 // O(n)-per-eviction `append([]int{id}, queue...)` front-insertion.
+//
+// Capacity tracks the live length in both directions: the buffer
+// doubles when full and halves when occupancy falls below a quarter,
+// so a long-lived online engine that absorbed one traffic burst does
+// not retain the burst's high-water backing array forever.
 package deque
 
 // Int is a double-ended queue of ints backed by a power-of-two ring
@@ -21,12 +26,33 @@ func (d *Int) Reset() {
 	d.head, d.n = 0, 0
 }
 
+// minCap is the smallest non-zero buffer; shrinking stops here so
+// small steady-state queues do not thrash allocations.
+const minCap = 8
+
 // grow doubles the buffer, laying the elements out from index 0.
 func (d *Int) grow() {
 	c := len(d.buf) * 2
 	if c == 0 {
-		c = 8
+		c = minCap
 	}
+	d.resize(c)
+}
+
+// shrink halves the buffer once occupancy drops below a quarter,
+// releasing burst high-water capacity back to the allocator. The
+// quarter threshold (not half) keeps grow/shrink cycles hysteretic: a
+// queue oscillating around a power-of-two boundary never resizes on
+// every operation.
+func (d *Int) shrink() {
+	if len(d.buf) > minCap && d.n < len(d.buf)/4 {
+		d.resize(len(d.buf) / 2)
+	}
+}
+
+// resize re-lays the elements into a fresh power-of-two buffer from
+// index 0.
+func (d *Int) resize(c int) {
 	buf := make([]int, c)
 	for i := 0; i < d.n; i++ {
 		buf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
@@ -70,8 +96,12 @@ func (d *Int) PopFront() int {
 	if d.n == 0 {
 		d.head = 0
 	}
+	d.shrink()
 	return v
 }
+
+// Cap returns the current buffer capacity (for tests and telemetry).
+func (d *Int) Cap() int { return len(d.buf) }
 
 // At returns the i-th element from the head (0 <= i < Len).
 func (d *Int) At(i int) int {

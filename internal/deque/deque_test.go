@@ -79,6 +79,68 @@ func TestMatchesSliceReference(t *testing.T) {
 	}
 }
 
+// After a burst drains, the backing array must decay instead of
+// retaining the high-water capacity for the rest of a long online run —
+// and the shrink must lose no queued elements on the way down.
+func TestCapacityDecaysAfterBurst(t *testing.T) {
+	const burst = 1 << 14
+	var d Int
+	for i := 0; i < burst; i++ {
+		d.PushBack(i)
+	}
+	peak := d.Cap()
+	if peak < burst {
+		t.Fatalf("cap = %d after %d pushes", peak, burst)
+	}
+	// Drain to a small steady-state residue, checking FIFO order.
+	const keep = 3
+	for i := 0; i < burst-keep; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("pop %d = %d during drain", i, got)
+		}
+	}
+	if d.Cap() >= peak {
+		t.Fatalf("cap = %d did not decay from burst peak %d", d.Cap(), peak)
+	}
+	if d.Cap() > 4*minCap {
+		t.Errorf("cap = %d retained after draining to %d elements", d.Cap(), keep)
+	}
+	for i := 0; i < keep; i++ {
+		if got := d.PopFront(); got != burst-keep+i {
+			t.Fatalf("residue pop = %d, want %d", got, burst-keep+i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len = %d after full drain", d.Len())
+	}
+	// The floor holds: tiny queues never shrink below minCap.
+	d.PushBack(1)
+	d.PopFront()
+	if d.Cap() != minCap {
+		t.Errorf("cap = %d at steady state, want the %d floor", d.Cap(), minCap)
+	}
+}
+
+// Oscillating across a power-of-two boundary must not resize on every
+// operation (the quarter-occupancy hysteresis).
+func TestShrinkHysteresis(t *testing.T) {
+	var d Int
+	for i := 0; i < minCap*4+1; i++ {
+		d.PushBack(i)
+	}
+	d.PopFront()
+	c := d.Cap()
+	// Length now c/2: alternating push/pop stays well above the
+	// quarter threshold and below capacity, so it must not move.
+	for i := 0; i < 1000; i++ {
+		d.PushBack(i)
+		d.PopFront()
+		if d.Cap() != c {
+			t.Fatalf("op %d: cap changed %d -> %d at occupancy %d", i, c, d.Cap(), d.Len())
+		}
+	}
+}
+
 func TestResetKeepsBuffer(t *testing.T) {
 	var d Int
 	for i := 0; i < 64; i++ {

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The disaggregation sweep must cover every (load, split) cell with
+// complete digests, and run deterministically.
+func TestDisaggSweep(t *testing.T) {
+	env, err := NewEnv(Options{PoolSize: 2000, Requests: 250, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Disagg(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(disaggLoadFactors) * (1 + len(disaggSplits))
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Rate <= 0 {
+			t.Errorf("row %s/%s rate = %v", r.Load, r.Split, r.Rate)
+		}
+		d := r.Report.Latency
+		if d.Requests != 250 {
+			t.Errorf("row %s/%s digest covers %d requests", r.Load, r.Split, d.Requests)
+		}
+		if g := d.Goodput(); g < 0 || g > 1 {
+			t.Errorf("row %s/%s goodput = %v", r.Load, r.Split, g)
+		}
+		if r.Split == "colocated" {
+			if r.Handoffs != 0 {
+				t.Errorf("colocated control reports %d hand-offs", r.Handoffs)
+			}
+		} else if r.Handoffs == 0 {
+			t.Errorf("split %s migrated nothing", r.Split)
+		}
+	}
+	out := FormatDisagg(rows)
+	for _, col := range []string{"colocated", "1P+3D", "handoffs", "goodput"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("formatted table missing %q:\n%s", col, out)
+		}
+	}
+
+	again, err := Disagg(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Error("disagg sweep not deterministic across runs")
+	}
+}

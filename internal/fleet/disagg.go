@@ -1,0 +1,511 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Disaggregated prefill/decode serving: the fleet is split into a
+// prefill pool and a decode pool sharing one virtual clock. Every
+// arrival is routed to a prefill replica (least-work); when its prefill
+// completes, the engine exports the finished prefix KV (core.Handoff)
+// and the router migrates it to a decode replica over the node's KV
+// link — transfer time = blocks x block bytes / bandwidth + latency —
+// where generation resumes via SubmitDecoded. The transfer overlaps
+// decode-side queueing: a hand-off becomes placeable once its transfer
+// completes, and waits in a FIFO only while no decode replica has KV
+// headroom for the import (retried as decode requests finish).
+//
+// The split isolates the two phases' interference: prefill replicas
+// never stall arrivals behind long decode phases, so TTFT stays flat
+// under bursts, at the price of the modeled transfer and fewer
+// decode-side token slots. Like the online router, the co-simulation is
+// single-threaded, so results are deterministic for a fixed trace,
+// config and split.
+
+// DisaggConfig sizes the two pools of a disaggregated deployment. Both
+// pools run the same engine configuration (core.Config); only the role
+// differs.
+type DisaggConfig struct {
+	// PrefillReplicas is the number of engines dedicated to prefill.
+	PrefillReplicas int
+	// DecodeReplicas is the number of engines dedicated to decode.
+	DecodeReplicas int
+}
+
+// Validate reports a configuration error, if any.
+func (dc DisaggConfig) Validate() error {
+	if dc.PrefillReplicas <= 0 || dc.DecodeReplicas <= 0 {
+		return fmt.Errorf("fleet: disagg pools %dP+%dD (both must be positive)",
+			dc.PrefillReplicas, dc.DecodeReplicas)
+	}
+	return nil
+}
+
+// DisaggResult is the outcome of a disaggregated run.
+type DisaggResult struct {
+	// Report is the fleet-level aggregate over both pools; Latency
+	// digests the per-request records spanning the whole hand-off
+	// lifecycle (arrival at the prefill pool to completion in the
+	// decode pool).
+	Report metrics.Report
+	// Prefill and Decode hold the per-replica engine results.
+	Prefill, Decode []*core.Result
+	// PrefillShards records the arrival routing: every trace request
+	// appears in exactly one prefill shard. DecodeShards records the
+	// hand-off placement: requests that finished at prefill
+	// (single-token outputs) appear in no decode shard.
+	PrefillShards, DecodeShards []Shard
+	// Records holds the merged per-request records indexed by trace
+	// position: the decode replica's record for handed-off requests
+	// (it carries the original arrival and first-token instants), the
+	// prefill replica's for requests that completed there.
+	Records []metrics.RequestRecord
+	// Handoffs counts requests migrated to the decode pool.
+	Handoffs int
+	// TransferredBytes is the total KV moved over the hand-off link.
+	TransferredBytes float64
+	// QueuedHandoffs counts hand-offs that had to wait for decode-pool
+	// KV headroom after their transfer completed.
+	QueuedHandoffs int
+}
+
+// recRef locates a request's finished record: the pool, replica index
+// and replica-local id that owns it.
+type recRef struct {
+	decode  bool
+	replica int
+	local   int
+}
+
+// handoffItem is one in-flight migration.
+type handoffItem struct {
+	origin int
+	h      core.Handoff
+}
+
+// disaggRouter coordinates the two pools inside the shared simulation.
+type disaggRouter struct {
+	eng     *sim.Engine
+	prefill []*core.Engine
+	decode  []*core.Engine
+	ppolicy Policy
+	dpolicy Policy
+	reqs    []workload.Request
+	// blockBytes is the KV footprint of one block across the model.
+	blockBytes float64
+	xferTime   func(bytes float64) float64
+
+	pOut     []Load
+	pEntries [][]loadEntry
+	pShards  []Shard
+
+	dOut     []Load
+	dEntries [][]loadEntry
+	dShards  []Shard
+
+	// loads is the per-pick snapshot buffer, sized for the larger pool.
+	loads []Load
+	// cand maps snapshot rows back to decode replica indices when the
+	// importability filter drops some replicas.
+	cand []int
+
+	items []handoffItem
+	// pending holds item indices whose transfer completed but which no
+	// decode replica can import yet, in completion order.
+	pending        []int
+	drainScheduled bool
+
+	final    []recRef
+	handoffs int
+	moved    float64
+	queued   int
+	err      error
+}
+
+// RunDisagg serves an arrival-stamped trace on a disaggregated fleet:
+// dc.PrefillReplicas prefill engines and dc.DecodeReplicas decode
+// engines, all instances of cfg on one shared virtual clock. Arrivals
+// are dispatched least-work across the prefill pool; hand-offs are
+// placed by the decode-affinity pick (warmest resident KV, then free-KV
+// headroom, then least predicted decode work). Closed-loop traces
+// (all arrivals at t=0) are served the same way — every request routes
+// at t=0.
+func RunDisagg(cfg core.Config, dc DisaggConfig, reqs []workload.Request) (*DisaggResult, error) {
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	ppolicy, err := New(LeastWork, Options{Predictor: cfg.Predictor})
+	if err != nil {
+		return nil, err
+	}
+	dpolicy, err := New(DecodeAffinity, Options{Predictor: cfg.Predictor})
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	total := dc.PrefillReplicas + dc.DecodeReplicas
+	engines := make([]*core.Engine, 0, total)
+	shutdownAll := func() {
+		for _, e := range engines {
+			e.Shutdown()
+		}
+	}
+	for i := 0; i < total; i++ {
+		e, err := core.NewEngine(eng, cfg)
+		if err != nil {
+			shutdownAll()
+			return nil, fmt.Errorf("fleet: disagg replica %d: %w", i, err)
+		}
+		engines = append(engines, e)
+		if err := e.StartOnline(); err != nil {
+			shutdownAll()
+			return nil, fmt.Errorf("fleet: disagg replica %d: %w", i, err)
+		}
+	}
+
+	blockSize := cfg.BlockSize
+	if blockSize <= 0 {
+		blockSize = kvcache.DefaultBlockSize
+	}
+	ro := &disaggRouter{
+		eng:        eng,
+		prefill:    engines[:dc.PrefillReplicas],
+		decode:     engines[dc.PrefillReplicas:],
+		ppolicy:    ppolicy,
+		dpolicy:    dpolicy,
+		reqs:       reqs,
+		blockBytes: float64(blockSize) * cfg.Spec.KVBytesPerToken(),
+		xferTime:   cfg.Node.KVTransferTime,
+		pOut:       make([]Load, dc.PrefillReplicas),
+		pEntries:   make([][]loadEntry, dc.PrefillReplicas),
+		pShards:    make([]Shard, dc.PrefillReplicas),
+		dOut:       make([]Load, dc.DecodeReplicas),
+		dEntries:   make([][]loadEntry, dc.DecodeReplicas),
+		dShards:    make([]Shard, dc.DecodeReplicas),
+		loads:      make([]Load, max(dc.PrefillReplicas, dc.DecodeReplicas)),
+		cand:       make([]int, 0, dc.DecodeReplicas),
+		final:      make([]recRef, len(reqs)),
+	}
+	for i := range ro.prefill {
+		i := i
+		ro.prefill[i].SetOnFinish(func(local int) { ro.prefillFinished(i, local) })
+		ro.prefill[i].SetHandoff(func(h core.Handoff) { ro.handoff(i, h) })
+	}
+	for i := range ro.decode {
+		i := i
+		ro.decode[i].SetOnFinish(func(local int) { ro.decodeFinished(i, local) })
+	}
+
+	// One event per request at its arrival instant, in (arrival, trace
+	// index) order so simultaneous arrivals route in trace order.
+	for _, idx := range workload.SortByArrival(reqs) {
+		at := sim.Time(reqs[idx].ArrivalTime)
+		if at < 0 {
+			at = 0
+		}
+		eng.AtFunc(at, disaggArrivalEvent, ro, idx, 0)
+	}
+	eng.Run()
+	if ro.err == nil && len(ro.pending) > 0 {
+		it := ro.items[ro.pending[0]]
+		ro.err = fmt.Errorf("fleet: %d hand-offs stranded: request %d (%d KV blocks) fits no decode replica",
+			len(ro.pending), it.origin, it.h.KV.Blocks())
+	}
+	if ro.err != nil {
+		shutdownAll()
+		return nil, ro.err
+	}
+	// Finalize every engine even after a failure so no worker
+	// goroutines leak.
+	results := make([]*core.Result, total)
+	var ferr error
+	for i, e := range engines {
+		res, err := e.Finalize()
+		if err != nil && ferr == nil {
+			ferr = fmt.Errorf("fleet: disagg replica %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return ro.assemble(cfg, dc, results)
+}
+
+// disaggArrivalEvent fires at a request's arrival instant (AtFunc: ctx
+// is the router, a the trace index).
+func disaggArrivalEvent(ctx any, idx, _ int) {
+	ro := ctx.(*disaggRouter)
+	ro.route(ro.reqs[idx], idx)
+}
+
+// route dispatches one arrival to the prefill pool.
+func (ro *disaggRouter) route(r workload.Request, origin int) {
+	if ro.err != nil {
+		return
+	}
+	loads := ro.loads[:len(ro.prefill)]
+	for i := range ro.prefill {
+		l := ro.pOut[i]
+		l.WarmTokens = ro.prefill[i].PrefixWarmTokens(r)
+		l.FreeKVTokens = ro.prefill[i].FreeKVTokens()
+		loads[i] = l
+	}
+	k := ro.ppolicy.Pick(r, loads)
+	if k < 0 || k >= len(ro.prefill) {
+		ro.err = fmt.Errorf("fleet: policy %q picked prefill replica %d of %d", ro.ppolicy.Name(), k, len(ro.prefill))
+		return
+	}
+	cost := ro.ppolicy.Cost(r)
+	local := ro.prefill[k].Submit(r)
+	ro.pEntries[k] = append(ro.pEntries[k], loadEntry{inputTokens: r.InputLen, cost: cost})
+	ro.pOut[k].Requests++
+	ro.pOut[k].InputTokens += r.InputLen
+	ro.pOut[k].CostTokens += cost
+	routed := r
+	routed.ID = local
+	ro.pShards[k].Reqs = append(ro.pShards[k].Reqs, routed)
+	ro.pShards[k].Origin = append(ro.pShards[k].Origin, origin)
+	ro.final[origin] = recRef{decode: false, replica: k, local: local}
+}
+
+// prefillFinished retires a request's contribution from its prefill
+// replica's counters; it fires both for local completions and for
+// hand-offs (the prefill engine retires the request before the hand-off
+// hook runs).
+func (ro *disaggRouter) prefillFinished(replica, local int) {
+	en := ro.pEntries[replica][local]
+	ro.pOut[replica].Requests--
+	ro.pOut[replica].InputTokens -= en.inputTokens
+	ro.pOut[replica].CostTokens -= en.cost
+}
+
+// handoff receives a prefill-completed request and schedules its KV
+// transfer: the whole exported block window crosses the link, so the
+// request becomes placeable on the decode pool only once the transfer
+// completes.
+func (ro *disaggRouter) handoff(replica int, h core.Handoff) {
+	if ro.err != nil {
+		return
+	}
+	origin := ro.pShards[replica].Origin[h.Local]
+	ro.items = append(ro.items, handoffItem{origin: origin, h: h})
+	ro.handoffs++
+	bytes := float64(h.KV.Blocks()) * ro.blockBytes
+	ro.moved += bytes
+	ro.eng.AtFunc(h.At+sim.Time(ro.xferTime(bytes)), transferDoneEvent, ro, len(ro.items)-1, 0)
+}
+
+// transferDoneEvent fires when a hand-off's KV transfer completes
+// (AtFunc: ctx is the router, a the item index).
+func transferDoneEvent(ctx any, item, _ int) {
+	ro := ctx.(*disaggRouter)
+	if ro.err != nil {
+		return
+	}
+	if !ro.place(item) {
+		ro.queued++
+		ro.pending = append(ro.pending, item)
+	}
+}
+
+// place admits a transferred hand-off on a decode replica, if any has
+// headroom for the import. Replicas that cannot import are filtered
+// out before the decode-affinity pick ranks the rest.
+func (ro *disaggRouter) place(item int) bool {
+	it := &ro.items[item]
+	r := ro.reqs[it.origin]
+	ro.cand = ro.cand[:0]
+	loads := ro.loads[:0]
+	for i := range ro.decode {
+		if !ro.decode[i].CanImportKV(it.h.KV) {
+			continue
+		}
+		l := ro.dOut[i]
+		l.WarmTokens = ro.decode[i].ResidentKVTokens(it.h.KV)
+		l.FreeKVTokens = ro.decode[i].FreeKVTokens()
+		ro.cand = append(ro.cand, i)
+		loads = append(loads, l)
+	}
+	if len(ro.cand) == 0 {
+		return false
+	}
+	j := ro.dpolicy.Pick(r, loads)
+	if j < 0 || j >= len(ro.cand) {
+		ro.err = fmt.Errorf("fleet: policy %q picked decode candidate %d of %d", ro.dpolicy.Name(), j, len(ro.cand))
+		return true
+	}
+	k := ro.cand[j]
+	local, err := ro.decode[k].SubmitDecoded(r, it.h)
+	if err != nil {
+		ro.err = fmt.Errorf("fleet: import on decode replica %d: %w", k, err)
+		return true
+	}
+	cost := ro.dpolicy.Cost(r)
+	ro.dEntries[k] = append(ro.dEntries[k], loadEntry{inputTokens: r.InputLen, cost: cost})
+	ro.dOut[k].Requests++
+	ro.dOut[k].InputTokens += r.InputLen
+	ro.dOut[k].CostTokens += cost
+	routed := r
+	routed.ID = local
+	ro.dShards[k].Reqs = append(ro.dShards[k].Reqs, routed)
+	ro.dShards[k].Origin = append(ro.dShards[k].Origin, it.origin)
+	ro.final[it.origin] = recRef{decode: true, replica: k, local: local}
+	return true
+}
+
+// decodeFinished retires a request from its decode replica's counters
+// and, when hand-offs are waiting for headroom, schedules a drain at
+// the current instant (after the engine's event finishes, keeping the
+// engine re-entrancy-free).
+func (ro *disaggRouter) decodeFinished(replica, local int) {
+	en := ro.dEntries[replica][local]
+	ro.dOut[replica].Requests--
+	ro.dOut[replica].InputTokens -= en.inputTokens
+	ro.dOut[replica].CostTokens -= en.cost
+	if len(ro.pending) > 0 && !ro.drainScheduled {
+		ro.drainScheduled = true
+		ro.eng.AtFunc(ro.eng.Now(), drainPendingEvent, ro, 0, 0)
+	}
+}
+
+// drainPendingEvent retries queued hand-offs in completion order
+// (AtFunc: ctx is the router).
+func drainPendingEvent(ctx any, _, _ int) {
+	ro := ctx.(*disaggRouter)
+	ro.drainScheduled = false
+	if ro.err != nil {
+		return
+	}
+	kept := ro.pending[:0]
+	for _, item := range ro.pending {
+		if ro.err != nil || !ro.place(item) {
+			kept = append(kept, item)
+		}
+	}
+	ro.pending = kept
+}
+
+// assemble builds the merged disaggregated result: the conservation
+// check, the record merge across pools, and the aggregate report.
+func (ro *disaggRouter) assemble(cfg core.Config, dc DisaggConfig, results []*core.Result) (*DisaggResult, error) {
+	n := len(ro.reqs)
+	res := &DisaggResult{
+		Prefill:          results[:dc.PrefillReplicas],
+		Decode:           results[dc.PrefillReplicas:],
+		PrefillShards:    ro.pShards,
+		DecodeShards:     ro.dShards,
+		Handoffs:         ro.handoffs,
+		TransferredBytes: ro.moved,
+		QueuedHandoffs:   ro.queued,
+	}
+	if err := res.checkConservation(n); err != nil {
+		return nil, err
+	}
+	records := make([]metrics.RequestRecord, n)
+	for origin, ref := range ro.final {
+		pool := res.Prefill
+		if ref.decode {
+			pool = res.Decode
+		}
+		rec := pool[ref.replica].Records[ref.local]
+		rec.ID = origin
+		records[origin] = rec
+	}
+	res.Records = records
+
+	rep := metrics.Report{
+		Scheduler: fmt.Sprintf("Disagg(TD-Pipe %dP+%dD)", dc.PrefillReplicas, dc.DecodeReplicas),
+		Node:      cfg.Node.Name,
+		Model:     cfg.Spec.Name,
+		GPUs:      cfg.World * (dc.PrefillReplicas + dc.DecodeReplicas),
+		Requests:  n,
+	}
+	for _, r := range ro.reqs {
+		rep.InputTokens += r.InputLen
+	}
+	for _, rec := range records {
+		rep.OutputTokens += rec.OutputTokens
+	}
+	var busy float64
+	for _, r := range results {
+		rr := r.Report
+		rep.PhaseSwitches += rr.PhaseSwitches
+		rep.Recomputes += rr.Recomputes
+		rep.PrefixCachedTokens += rr.PrefixCachedTokens
+		if rr.Elapsed > rep.Elapsed {
+			rep.Elapsed = rr.Elapsed
+		}
+		if rr.KVPeakUsage > rep.KVPeakUsage {
+			rep.KVPeakUsage = rr.KVPeakUsage
+		}
+		busy += rr.MeanUtilization * rr.Elapsed * float64(rr.GPUs)
+	}
+	if rep.Elapsed > 0 && rep.GPUs > 0 {
+		rep.MeanUtilization = busy / (rep.Elapsed * float64(rep.GPUs))
+	}
+	rep.BubbleRatio = 1 - rep.MeanUtilization
+	rep.Latency = metrics.Digest(records, cfg.SLO)
+	res.Report = rep
+	return res, nil
+}
+
+// checkConservation verifies the disaggregated request lifecycle:
+// every trace request was prefilled on exactly one prefill replica,
+// handed to at most one decode replica, and each replica completed
+// exactly its shard.
+func (r *DisaggResult) checkConservation(n int) error {
+	prefilled := make([]int, n)
+	for i, sh := range r.PrefillShards {
+		if len(sh.Reqs) != len(sh.Origin) {
+			return fmt.Errorf("fleet: prefill replica %d has %d requests but %d origins", i, len(sh.Reqs), len(sh.Origin))
+		}
+		if got := r.Prefill[i].Report.Requests; got != len(sh.Reqs) {
+			return fmt.Errorf("fleet: prefill replica %d completed %d of %d requests", i, got, len(sh.Reqs))
+		}
+		for _, o := range sh.Origin {
+			if o < 0 || o >= n {
+				return fmt.Errorf("fleet: prefill replica %d has origin %d outside trace of %d", i, o, n)
+			}
+			prefilled[o]++
+		}
+	}
+	for o, c := range prefilled {
+		if c != 1 {
+			return fmt.Errorf("fleet: request %d prefilled %d times", o, c)
+		}
+	}
+	decoded := make([]int, n)
+	for i, sh := range r.DecodeShards {
+		if len(sh.Reqs) != len(sh.Origin) {
+			return fmt.Errorf("fleet: decode replica %d has %d requests but %d origins", i, len(sh.Reqs), len(sh.Origin))
+		}
+		if got := r.Decode[i].Report.Requests; got != len(sh.Reqs) {
+			return fmt.Errorf("fleet: decode replica %d completed %d of %d requests", i, got, len(sh.Reqs))
+		}
+		for _, o := range sh.Origin {
+			if o < 0 || o >= n {
+				return fmt.Errorf("fleet: decode replica %d has origin %d outside trace of %d", i, o, n)
+			}
+			decoded[o]++
+		}
+	}
+	handed := 0
+	for o, c := range decoded {
+		if c > 1 {
+			return fmt.Errorf("fleet: request %d decoded on %d replicas", o, c)
+		}
+		handed += c
+	}
+	if handed != r.Handoffs {
+		return fmt.Errorf("fleet: %d hand-offs recorded but %d requests placed on the decode pool", r.Handoffs, handed)
+	}
+	return nil
+}

@@ -156,13 +156,15 @@ func (ro *onlineRouter) route(r workload.Request, origin int) {
 }
 
 // snapshot fills the reusable load view for routing r right now: the
-// incrementally maintained outstanding counters plus how much of r's
-// shared prefix is resident in each replica's KV pool — warm blocks
-// included, so affinity survives request completion.
+// incrementally maintained outstanding counters plus two live probes of
+// each replica's KV pool — how much of r's shared prefix is resident
+// (warm blocks included, so affinity survives request completion) and
+// the free-KV headroom pool-aware policies rank on.
 func (ro *onlineRouter) snapshot(r workload.Request) []Load {
 	for i := range ro.engines {
 		l := ro.outstanding[i]
 		l.WarmTokens = ro.engines[i].PrefixWarmTokens(r)
+		l.FreeKVTokens = ro.engines[i].FreeKVTokens()
 		ro.loads[i] = l
 	}
 	return ro.loads

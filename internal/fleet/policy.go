@@ -24,8 +24,15 @@ type Load struct {
 	// prefix this replica already holds — live KV residency for the
 	// online router, assignment history for the offline pre-shard.
 	// Always 0 for requests without prefix structure; recomputed per
-	// request before Pick.
+	// request before Pick. In a disaggregated decode pool it is the
+	// resident share of the hand-off's exported block window instead.
 	WarmTokens int
+	// FreeKVTokens is the replica's live KV headroom in tokens (free
+	// plus reclaimable warm blocks) at routing time — the pool-aware
+	// signal the disaggregated decode pick ranks on. Populated by the
+	// online and disaggregated routers; 0 in the offline pre-shard,
+	// which has no live engines to probe.
+	FreeKVTokens int
 }
 
 // Policy decides which replica receives each request of a trace.
@@ -111,6 +118,12 @@ const (
 	// shared prefix (most reusable KV), falling back to least-work
 	// when no replica holds any of the request's prefix.
 	PrefixAffinity = "prefix-affinity"
+	// DecodeAffinity is the disaggregated decode-pool pick: warmest
+	// resident KV first (the import re-references resident blocks
+	// instead of storing new ones), then the most free KV headroom,
+	// then least estimated outstanding decode work. The disaggregated
+	// router pairs it with least-work on the prefill pool.
+	DecodeAffinity = "decode-affinity"
 )
 
 func init() {
@@ -127,6 +140,13 @@ func init() {
 		return &predictedCost{pred: p}
 	})
 	Register(PrefixAffinity, func(Options) Policy { return prefixAffinity{} })
+	Register(DecodeAffinity, func(o Options) Policy {
+		p := o.Predictor
+		if p == nil {
+			p = core.OraclePredictor{}
+		}
+		return &decodeAffinity{pred: p}
+	})
 }
 
 type roundRobin struct{ next int }
@@ -197,6 +217,39 @@ func (prefixAffinity) Pick(_ workload.Request, loads []Load) int {
 // Cost is the known prefill work, as in least-work; Pick's warmth
 // signal, not the cost estimate, carries the cache information.
 func (prefixAffinity) Cost(r workload.Request) float64 { return float64(r.InputLen) }
+
+type decodeAffinity struct{ pred core.LenPredictor }
+
+func (*decodeAffinity) Name() string { return DecodeAffinity }
+
+// Pick ranks replicas for a decode-pool admission: the warmest resident
+// KV wins (the import stores the fewest new blocks there), ties prefer
+// the most free-KV headroom (the request's context still has to grow),
+// and remaining ties fall back to least accumulated cost, then the
+// lower index.
+func (*decodeAffinity) Pick(_ workload.Request, loads []Load) int {
+	best := 0
+	for i := 1; i < len(loads); i++ {
+		switch {
+		case loads[i].WarmTokens > loads[best].WarmTokens:
+			best = i
+		case loads[i].WarmTokens < loads[best].WarmTokens:
+		case loads[i].FreeKVTokens > loads[best].FreeKVTokens:
+			best = i
+		case loads[i].FreeKVTokens < loads[best].FreeKVTokens:
+		case loads[i].CostTokens < loads[best].CostTokens ||
+			(loads[i].CostTokens == loads[best].CostTokens && loads[i].Requests < loads[best].Requests):
+			best = i
+		}
+	}
+	return best
+}
+
+// Cost is the predicted decode work the request adds to its replica:
+// the output-length estimate (prefill happened elsewhere).
+func (p *decodeAffinity) Cost(r workload.Request) float64 {
+	return float64(p.pred.PredictLen(r))
+}
 
 type predictedCost struct{ pred core.LenPredictor }
 

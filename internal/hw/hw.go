@@ -55,6 +55,15 @@ type Node struct {
 	// CollectiveLatency is the fixed per-operation latency of a
 	// collective (NCCL launch + synchronization), in seconds.
 	CollectiveLatency float64
+	// KVLinkGBps is the effective bandwidth of the interconnect that
+	// migrates KV blocks between replicas in a disaggregated
+	// prefill/decode deployment, in GB/s. Zero falls back to the P2P
+	// parameters (hand-off over the same switch fabric).
+	KVLinkGBps float64
+	// KVLinkLatency is the fixed per-hand-off latency in seconds
+	// (connection setup + first-byte). Used with KVLinkGBps; when
+	// KVLinkGBps is zero, P2PLatency applies instead.
+	KVLinkLatency float64
 }
 
 // Validate reports a configuration error, if any.
@@ -97,10 +106,28 @@ func (n Node) P2PTime(bytes float64) float64 {
 	return n.P2PLatency + bytes/(n.P2PGBps*1e9)
 }
 
+// KVTransferTime returns the time to migrate bytes of KV cache to a
+// peer replica in a disaggregated prefill/decode hand-off: the fixed
+// link latency plus the payload over the KV-link bandwidth. Nodes
+// without an explicit KV link fall back to the P2P parameters.
+func (n Node) KVTransferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bw, lat := n.KVLinkGBps, n.KVLinkLatency
+	if bw <= 0 {
+		bw, lat = n.P2PGBps, n.P2PLatency
+	}
+	return lat + bytes/(bw*1e9)
+}
+
 // Table 1 of the paper, plus interconnect characteristics measured
 // there. P2P bandwidth through a PCIe 4.0 switch with GPUDirect is set
 // to a typical ~20 GB/s effective; the collectives use the measured
-// all-reduce bus bandwidths.
+// all-reduce bus bandwidths. The KV hand-off link between replicas is
+// a 200 Gb/s-class fabric (~25 GB/s effective, 50 µs setup), the kind
+// of RDMA path disaggregated serving systems migrate prefix caches
+// over.
 var (
 	// L20 is the 4x NVIDIA L20 (48 GB) PCIe node.
 	L20 = Node{
@@ -111,6 +138,8 @@ var (
 		P2PGBps:           20,
 		P2PLatency:        10e-6,
 		CollectiveLatency: 80e-6,
+		KVLinkGBps:        25,
+		KVLinkLatency:     50e-6,
 	}
 	// A100 is the 4x NVIDIA A100 (80 GB) PCIe node.
 	A100 = Node{
@@ -121,6 +150,8 @@ var (
 		P2PGBps:           20,
 		P2PLatency:        10e-6,
 		CollectiveLatency: 80e-6,
+		KVLinkGBps:        25,
+		KVLinkLatency:     50e-6,
 	}
 	// TestNode is a small fast node for unit tests: timings stay easy
 	// to reason about (1 TFLOPS, 1 GB/s everything).

@@ -91,6 +91,27 @@ func TestP2PTime(t *testing.T) {
 	}
 }
 
+// The KV hand-off link: latency + payload/bandwidth, with a fallback
+// to the P2P parameters for nodes without an explicit KV link.
+func TestKVTransferTime(t *testing.T) {
+	n := A100 // 25 GB/s, 50 µs
+	if got := n.KVTransferTime(0); got != 0 {
+		t.Errorf("empty transfer = %v, want 0", got)
+	}
+	want := 50e-6 + 5e9/25e9
+	if got := n.KVTransferTime(5e9); math.Abs(got-want) > 1e-15 {
+		t.Errorf("kv transfer = %v, want %v", got, want)
+	}
+	fallback := n
+	fallback.KVLinkGBps, fallback.KVLinkLatency = 0, 0
+	if got, p2p := fallback.KVTransferTime(5e9), n.P2PTime(5e9); math.Abs(got-p2p) > 1e-15 {
+		t.Errorf("fallback transfer = %v, want p2p %v", got, p2p)
+	}
+	if !(TestNode.KVTransferTime(1e9) > 0) {
+		t.Error("test node transfer not positive")
+	}
+}
+
 // Property: transfer and collective times are monotone in payload size.
 func TestMonotoneTimesProperty(t *testing.T) {
 	prop := func(a, b float64) bool {

@@ -38,6 +38,16 @@ func (r RequestRecord) TPOT() float64 {
 // E2E returns the end-to-end latency from arrival to completion.
 func (r RequestRecord) E2E() float64 { return r.Finish - r.Arrival }
 
+// Finished reports whether the record describes a completed request:
+// at least one output token and a monotone arrival -> first-token ->
+// finish lifecycle. Records of admitted-but-unfinished requests (e.g.
+// a zero-valued record merged for a request still in flight) fail
+// this; digesting them as if complete would feed negative "latencies"
+// into the percentiles.
+func (r RequestRecord) Finished() bool {
+	return r.OutputTokens > 0 && r.FirstToken >= r.Arrival && r.Finish >= r.FirstToken
+}
+
 // SLO is a service-level objective over per-request latencies. A zero
 // component disables that check; the zero value disables the SLO
 // entirely (every request is "good").
@@ -130,20 +140,32 @@ func (d LatencyDigest) String() string {
 
 // Digest folds records into a latency digest under the SLO. The input
 // order does not matter; the result is deterministic for a set of
-// records.
+// records. Unfinished records (see RequestRecord.Finished) count
+// toward Requests but never toward SLOMet, and are excluded from the
+// percentiles and means: an empty or all-unfinished record set yields
+// defined zeros in every latency field, never NaN or negative
+// "latencies" from zero-valued timestamps.
 func Digest(records []RequestRecord, slo SLO) LatencyDigest {
 	d := LatencyDigest{Requests: len(records), SLO: slo}
 	if len(records) == 0 {
 		return d
 	}
-	ttft := make([]float64, len(records))
-	tpot := make([]float64, len(records))
-	e2e := make([]float64, len(records))
-	for i, r := range records {
-		ttft[i], tpot[i], e2e[i] = r.TTFT(), r.TPOT(), r.E2E()
+	ttft := make([]float64, 0, len(records))
+	tpot := make([]float64, 0, len(records))
+	e2e := make([]float64, 0, len(records))
+	for _, r := range records {
+		if !r.Finished() {
+			continue
+		}
+		ttft = append(ttft, r.TTFT())
+		tpot = append(tpot, r.TPOT())
+		e2e = append(e2e, r.E2E())
 		if slo.Met(r) {
 			d.SLOMet++
 		}
+	}
+	if len(ttft) == 0 {
+		return d
 	}
 	sort.Float64s(ttft)
 	sort.Float64s(tpot)
@@ -154,8 +176,8 @@ func Digest(records []RequestRecord, slo SLO) LatencyDigest {
 		d.MeanTTFT += ttft[i]
 		d.MeanE2E += e2e[i]
 	}
-	d.MeanTTFT /= float64(len(records))
-	d.MeanE2E /= float64(len(records))
+	d.MeanTTFT /= float64(len(ttft))
+	d.MeanE2E /= float64(len(ttft))
 	d.TTFTP50, d.TTFTP95, d.TTFTP99 = Percentile(ttft, 50), Percentile(ttft, 95), Percentile(ttft, 99)
 	d.TPOTP50, d.TPOTP95, d.TPOTP99 = Percentile(tpot, 50), Percentile(tpot, 95), Percentile(tpot, 99)
 	d.E2EP50, d.E2EP95, d.E2EP99 = Percentile(e2e, 50), Percentile(e2e, 95), Percentile(e2e, 99)

@@ -104,6 +104,119 @@ func TestDigestEmpty(t *testing.T) {
 	}
 }
 
+// Digest edge cases: degenerate record sets must yield defined,
+// finite digests — zeros, never NaN and never negative "latencies"
+// computed from zero-valued timestamps of unfinished requests.
+func TestDigestEdgeCases(t *testing.T) {
+	finite := func(t *testing.T, d LatencyDigest) {
+		t.Helper()
+		for name, v := range map[string]float64{
+			"ttft p50": d.TTFTP50, "ttft p95": d.TTFTP95, "ttft p99": d.TTFTP99,
+			"tpot p50": d.TPOTP50, "tpot p95": d.TPOTP95, "tpot p99": d.TPOTP99,
+			"e2e p50": d.E2EP50, "e2e p95": d.E2EP95, "e2e p99": d.E2EP99,
+			"mean ttft": d.MeanTTFT, "mean e2e": d.MeanE2E, "goodput": d.Goodput(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Errorf("%s = %v", name, v)
+			}
+		}
+	}
+	cases := []struct {
+		name        string
+		records     []RequestRecord
+		slo         SLO
+		wantMet     int
+		wantGoodput float64
+		wantTTFTP99 float64
+	}{
+		{
+			name:        "0 records",
+			records:     nil,
+			slo:         DefaultSLO(),
+			wantMet:     0,
+			wantGoodput: 1, // no traffic, nothing violated
+		},
+		{
+			name:        "1 record",
+			records:     []RequestRecord{{Arrival: 1, FirstToken: 3, Finish: 5, OutputTokens: 3}},
+			slo:         DefaultSLO(),
+			wantMet:     1,
+			wantGoodput: 1,
+			wantTTFTP99: 2,
+		},
+		{
+			name: "all records miss the SLO",
+			records: []RequestRecord{
+				{Arrival: 0, FirstToken: 100, Finish: 200, OutputTokens: 5},
+				{Arrival: 1, FirstToken: 150, Finish: 300, OutputTokens: 5},
+			},
+			slo:         SLO{TTFT: 1},
+			wantMet:     0,
+			wantGoodput: 0,
+			wantTTFTP99: 100, // index-style percentile: idx int(.99*1) = 0
+		},
+		{
+			name: "all records unfinished (zero-valued timestamps)",
+			records: []RequestRecord{
+				{Arrival: 10}, // admitted, no first token yet
+				{Arrival: 20},
+			},
+			slo:         DefaultSLO(),
+			wantMet:     0,
+			wantGoodput: 0, // in-flight requests are not good requests
+			wantTTFTP99: 0, // no finished sample: defined zero, not -10
+		},
+		{
+			name: "unfinished records mixed with finished ones",
+			records: []RequestRecord{
+				{Arrival: 0, FirstToken: 2, Finish: 4, OutputTokens: 3},
+				{Arrival: 50}, // still in flight
+			},
+			slo:         DefaultSLO(),
+			wantMet:     1,
+			wantGoodput: 0.5,
+			wantTTFTP99: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Digest(tc.records, tc.slo)
+			finite(t, d)
+			if d.Requests != len(tc.records) {
+				t.Errorf("requests = %d, want %d", d.Requests, len(tc.records))
+			}
+			if d.SLOMet != tc.wantMet {
+				t.Errorf("SLOMet = %d, want %d", d.SLOMet, tc.wantMet)
+			}
+			if g := d.Goodput(); math.Abs(g-tc.wantGoodput) > 1e-9 {
+				t.Errorf("goodput = %v, want %v", g, tc.wantGoodput)
+			}
+			if math.Abs(d.TTFTP99-tc.wantTTFTP99) > 1e-9 {
+				t.Errorf("ttft p99 = %v, want %v", d.TTFTP99, tc.wantTTFTP99)
+			}
+		})
+	}
+}
+
+func TestRequestRecordFinished(t *testing.T) {
+	cases := []struct {
+		rec  RequestRecord
+		want bool
+	}{
+		{RequestRecord{Arrival: 1, FirstToken: 2, Finish: 3, OutputTokens: 5}, true},
+		{RequestRecord{Arrival: 0, FirstToken: 0, Finish: 0, OutputTokens: 1}, true}, // instant single token
+		{RequestRecord{Arrival: 10}, false},                                          // zero-valued remainder
+		{RequestRecord{Arrival: 1, FirstToken: 2, Finish: 3}, false},                 // no tokens
+		{RequestRecord{Arrival: 5, FirstToken: 2, Finish: 8, OutputTokens: 2}, false},
+		{RequestRecord{Arrival: 1, FirstToken: 4, Finish: 3, OutputTokens: 2}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.rec.Finished(); got != tc.want {
+			t.Errorf("case %d: Finished(%+v) = %v, want %v", i, tc.rec, got, tc.want)
+		}
+	}
+}
+
 func TestPercentileFloat(t *testing.T) {
 	if got := Percentile(nil, 50); got != 0 {
 		t.Errorf("empty = %v", got)

@@ -9,6 +9,16 @@
 // The paper motivates against this design rather than benchmarking it;
 // we implement it as an additional comparator so the §2.2.2 argument is
 // checkable (cmd/tdpipe -exp offload).
+//
+// The comparator is offline-only by design: the FlexGen generation
+// schedule (prefill a whole batch, decode it to completion) has no
+// admission point for open-loop arrivals, so honoring ArrivalTime
+// would require a different scheduler, not a parameter. Rather than
+// silently treating a stamped trace as if everything were present at
+// t=0 — which would overstate offloading throughput against the
+// arrival-aware baselines — Run rejects traces carrying arrival times
+// with an explicit error. Strip the stamps (or generate the trace
+// without an arrival process) to compare against the offline regime.
 package offload
 
 import (
@@ -88,6 +98,10 @@ type Result struct {
 func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if workload.HasArrivals(reqs) {
+		return nil, fmt.Errorf("offload: trace carries arrival times, but the offload comparator is offline-only " +
+			"(the FlexGen generation schedule cannot admit open-loop arrivals); strip the stamps to compare offline")
 	}
 	cm, err := costmodel.New(cfg.Node, cfg.Spec)
 	if err != nil {

@@ -15,6 +15,20 @@ func testTrace(n int) []workload.Request {
 	return workload.MustGenerate(cfg)
 }
 
+// The comparator is offline-only: arrival-stamped traces must be
+// rejected with a clear error, not silently drained as if everything
+// arrived at t=0 (see the package comment for the rationale).
+func TestRejectsArrivalStampedTraces(t *testing.T) {
+	stamped := workload.StampArrivals(testTrace(20), workload.Poisson{Rate: 5}, 3)
+	if _, err := Run(DefaultConfig(hw.L20, model.Qwen2_5_32B, 2), stamped); err == nil {
+		t.Fatal("arrival-stamped trace accepted by the offline-only comparator")
+	}
+	// The same trace without stamps (all arrivals zero) must run.
+	if _, err := Run(DefaultConfig(hw.L20, model.Qwen2_5_32B, 2), testTrace(20)); err != nil {
+		t.Fatalf("unstamped trace rejected: %v", err)
+	}
+}
+
 func TestValidate(t *testing.T) {
 	bad := DefaultConfig(hw.L20, model.Qwen2_5_32B, 0)
 	if _, err := Run(bad, testTrace(10)); err == nil {

@@ -142,6 +142,12 @@ type (
 	FleetPolicy = fleet.Policy
 	// FleetOptions parameterize policy construction (seed, predictor).
 	FleetOptions = fleet.Options
+	// DisaggConfig sizes the prefill and decode pools of a
+	// disaggregated deployment (see RunDisagg).
+	DisaggConfig = fleet.DisaggConfig
+	// DisaggResult is the merged outcome of a disaggregated run,
+	// including hand-off and KV-transfer accounting.
+	DisaggResult = fleet.DisaggResult
 )
 
 // Built-in fleet dispatch policies.
@@ -151,6 +157,7 @@ const (
 	FleetLeastWork      = fleet.LeastWork
 	FleetPredictedCost  = fleet.PredictedCost
 	FleetPrefixAffinity = fleet.PrefixAffinity
+	FleetDecodeAffinity = fleet.DecodeAffinity
 )
 
 // FleetPolicies lists the registered dispatch policies.
@@ -185,6 +192,21 @@ func RunFleet(cfg Config, replicas int, policy string, reqs []Request) (*FleetRe
 		return fleet.RunOnline(cfg, replicas, p, reqs)
 	}
 	return fleet.Run(cfg, replicas, p, reqs)
+}
+
+// RunDisagg serves the trace on a phase-disaggregated fleet: dedicated
+// prefill replicas hand each request's finished prefix KV to dedicated
+// decode replicas over the node's modeled KV link (transfer time =
+// blocks x block bytes / bandwidth + latency, overlapping decode-side
+// queueing). Arrivals are dispatched least-work across the prefill
+// pool; hand-offs land on the decode replica with the warmest resident
+// KV, then the most free-KV headroom. All replicas share one virtual
+// clock, so results are deterministic for a fixed trace and config.
+// Compare against RunFleet on the same trace to measure what the split
+// buys (TTFT tails under bursts) and costs (transfer time, decode
+// slots).
+func RunDisagg(cfg Config, dc DisaggConfig, reqs []Request) (*DisaggResult, error) {
+	return fleet.RunDisagg(cfg, dc, reqs)
 }
 
 // NewBaselineConfig returns a vLLM-like configuration for one of the
