@@ -55,11 +55,13 @@ bench-compare:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGenerateSplitInvariants -fuzztime=$(FUZZTIME) ./internal/workload/
 
-# Smoke-run the disaggregated serving sweep at tiny scale through the
-# real CLI: exercises the whole hand-off path (prefill pool -> KV
-# export -> modeled transfer -> import -> continuous-batching decode)
-# so the -exp disagg surface cannot rot unnoticed.
+# Smoke-run the disaggregated serving sweep and the fault-injection
+# study at tiny scale through the real CLI: exercises the whole
+# hand-off path (prefill pool -> KV export -> modeled transfer ->
+# import -> continuous-batching decode) and the crash/recovery path
+# (seeded fault plan -> abort -> re-dispatch/checkpoint resume ->
+# conservation) so neither -exp surface can rot unnoticed.
 smoke:
-	$(GO) run ./cmd/tdpipe -exp disagg -requests 250 -pool 2000
+	$(GO) run ./cmd/tdpipe -exp disagg,faults -requests 250 -pool 2000
 
 ci: build vet test race smoke

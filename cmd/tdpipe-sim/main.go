@@ -37,6 +37,22 @@
 // ablation. The prefix-affinity policy routes each group to the
 // replica with the warmest matching prefix.
 //
+// Fault injection: a seeded fault plan can be layered onto fleet or
+// disaggregated runs (the recovery path needs a router, so -replicas >
+// 1 or -disagg is required). -mtbf sets each replica's mean time
+// between failures over -fault-horizon virtual seconds; each crash
+// aborts the replica's in-flight requests, which are re-dispatched to
+// live replicas — resumed from their last periodic KV checkpoint when
+// -ckpt-interval is set, re-prefilled from scratch otherwise — until
+// -max-retries is exhausted and the request is dropped with a reason.
+// -stragglers/-straggler-factor slow seeded replicas; the -link-*
+// flags impair the disagg KV hand-off link with degraded or
+// partitioned windows. The report gains a fault/recovery accounting
+// line, and runs are deterministic for a fixed seed:
+//
+//	tdpipe-sim -replicas 4 -arrivals poisson -rate 3 \
+//	    -mtbf 120 -fault-horizon 600 -ckpt-interval 60
+//
 // Profiling: -cpuprofile/-memprofile write pprof profiles of the run,
 // so hot-path regressions can be diagnosed against the simulator
 // binary itself (go tool pprof tdpipe-sim cpu.out). The tdpipe
@@ -55,6 +71,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/metrics"
@@ -93,8 +110,51 @@ type options struct {
 	prefixTurns   int
 	noPrefixCache bool
 
+	mtbf              float64
+	faultHorizon      float64
+	restartDelay      float64
+	stragglers        int
+	stragglerFactor   float64
+	ckptInterval      float64
+	linkDegradeFrac   float64
+	linkDegradeFactor float64
+	linkPartitionFrac float64
+	maxRetries        int
+
 	cpuprofile string
 	memprofile string
+}
+
+// faultConfig assembles the seeded fault plan configuration from the
+// flag group; the zero value (no fault flags) is fault-free.
+func (o options) faultConfig() faults.Config {
+	return faults.Config{
+		Seed:               o.seed + 4000,
+		Horizon:            o.faultHorizon,
+		MTBF:               o.mtbf,
+		RestartDelay:       o.restartDelay,
+		MaxRetries:         o.maxRetries,
+		Stragglers:         o.stragglers,
+		StragglerFactor:    o.stragglerFactor,
+		LinkDegradeFrac:    o.linkDegradeFrac,
+		LinkDegradeFactor:  o.linkDegradeFactor,
+		LinkPartitionFrac:  o.linkPartitionFrac,
+		CheckpointInterval: o.ckptInterval,
+	}
+}
+
+// printFaults shows the fault/recovery accounting when any fault
+// activity was recorded.
+func printFaults(rep metrics.Report) {
+	f := rep.Faults
+	if !f.Any() {
+		return
+	}
+	fmt.Printf("faults: %d crashes, %d aborted, %d/%d recovered (recompute/checkpoint), %d dropped, %d output tokens lost\n",
+		f.Crashes, f.AbortedRequests, f.RecoveredRecompute, f.RecoveredCheckpoint, f.Dropped, f.LostOutputTokens)
+	if f.Checkpoints > 0 {
+		fmt.Printf("checkpoints: %d rounds, %.2f GB serialized\n", f.Checkpoints, f.CheckpointBytes/1e9)
+	}
 }
 
 // main defers to realMain so profile finalizers (StopCPUProfile, file
@@ -132,6 +192,16 @@ func realMain() int {
 	flag.IntVar(&o.prefixLen, "prefix-len", 256, "mean shared-prefix length in tokens")
 	flag.IntVar(&o.prefixTurns, "prefix-turns", 4, "conversation depth: turns over which a group's prefix grows")
 	flag.BoolVar(&o.noPrefixCache, "no-prefix-cache", false, "disable shared-prefix KV reuse (ablation)")
+	flag.Float64Var(&o.mtbf, "mtbf", 0, "mean time between replica failures in virtual seconds (0 disables crashes; needs -fault-horizon)")
+	flag.Float64Var(&o.faultHorizon, "fault-horizon", 0, "virtual-time horizon bounding fault activity in seconds")
+	flag.IntVar(&o.maxRetries, "max-retries", 0, "re-dispatches per crash-lost request before it is dropped (0 = default 3)")
+	flag.Float64Var(&o.restartDelay, "restart-delay", 2, "process-restart seconds added to each crash outage (weight reload is modeled on top)")
+	flag.IntVar(&o.stragglers, "stragglers", 0, "replicas (chosen by the fault seed) slowed by -straggler-factor")
+	flag.Float64Var(&o.stragglerFactor, "straggler-factor", 1.3, "pass-duration multiplier for straggler replicas")
+	flag.Float64Var(&o.ckptInterval, "ckpt-interval", 0, "periodic KV checkpoint cadence in virtual seconds (0 disables; crash recovery then recomputes)")
+	flag.Float64Var(&o.linkDegradeFrac, "link-degrade-frac", 0, "fraction of KV-link windows running degraded (-disagg only)")
+	flag.Float64Var(&o.linkDegradeFactor, "link-degrade-factor", 4, "KV transfer slowdown inside degraded windows")
+	flag.Float64Var(&o.linkPartitionFrac, "link-partition-frac", 0, "fraction of KV-link windows fully partitioned (-disagg only)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	flag.Parse()
@@ -194,7 +264,10 @@ func pickModel(name string) (model.Spec, error) {
 // trainedPredictor fits the classifier on the corpus's 60% historical
 // split, the same recipe the single-engine path uses.
 func trainedPredictor(pool []workload.Request) (core.LenPredictor, error) {
-	train, _, _ := workload.Split(pool, 0.6, 0.2)
+	train, _, _, err := workload.Split(pool, 0.6, 0.2)
+	if err != nil {
+		return nil, err
+	}
 	return predictor.Train(train, predictor.DefaultTrainConfig())
 }
 
@@ -233,7 +306,17 @@ func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Re
 		return err
 	}
 	var res *fleet.Result
-	if open {
+	if fc := o.faultConfig(); fc.Enabled() {
+		downtime := o.restartDelay + faults.WeightReloadTime(node, spec, o.gpus)
+		plan, err := faults.NewPlan(fc, o.replicas, downtime)
+		if err != nil {
+			return err
+		}
+		res, err = fleet.RunOnlineFaults(cfg, o.replicas, p, reqs, plan)
+		if err != nil {
+			return err
+		}
+	} else if open {
 		res, err = fleet.RunOnline(cfg, o.replicas, p, reqs)
 	} else {
 		res, err = fleet.Run(cfg, o.replicas, p, reqs)
@@ -251,6 +334,7 @@ func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Re
 		res.Report.OutputThroughput(), res.Report.TotalThroughput())
 	printLatency(res.Report, open)
 	printPrefix(res.Report)
+	printFaults(res.Report)
 
 	if o.outDir == "" {
 		return nil
@@ -286,7 +370,18 @@ func runDisagg(o options, node hw.Node, spec model.Spec, pool, reqs []workload.R
 		cfg.Predictor = clf
 	}
 	dc := fleet.DisaggConfig{PrefillReplicas: o.prefillReplicas, DecodeReplicas: o.decodeReplicas}
-	res, err := fleet.RunDisagg(cfg, dc, reqs)
+	var res *fleet.DisaggResult
+	var err error
+	if fc := o.faultConfig(); fc.Enabled() {
+		downtime := o.restartDelay + faults.WeightReloadTime(node, spec, o.gpus)
+		plan, perr := faults.NewPlan(fc, dc.PrefillReplicas+dc.DecodeReplicas, downtime)
+		if perr != nil {
+			return perr
+		}
+		res, err = fleet.RunDisaggFaults(cfg, dc, reqs, plan)
+	} else {
+		res, err = fleet.RunDisagg(cfg, dc, reqs)
+	}
 	if err != nil {
 		return err
 	}
@@ -307,6 +402,7 @@ func runDisagg(o options, node hw.Node, spec model.Spec, pool, reqs []workload.R
 		res.Handoffs, res.QueuedHandoffs, res.TransferredBytes/1e9)
 	printLatency(res.Report, open)
 	printPrefix(res.Report)
+	printFaults(res.Report)
 
 	if o.outDir == "" {
 		return nil
@@ -368,15 +464,30 @@ func run(o options) error {
 	// -disagg (pools are sized by -prefill/-decode-replicas, the policy
 	// pair is fixed) and the disagg flags do nothing without it. Reject
 	// either mismatch rather than silently substitute defaults.
-	var fleetFlags, disaggFlags []string
+	var fleetFlags, disaggFlags, linkFlags []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "replicas", "policy":
 			fleetFlags = append(fleetFlags, "-"+f.Name)
 		case "prefill-replicas", "decode-replicas", "kv-bw", "kv-lat":
 			disaggFlags = append(disaggFlags, "-"+f.Name)
+		case "link-degrade-frac", "link-degrade-factor", "link-partition-frac":
+			linkFlags = append(linkFlags, "-"+f.Name)
 		}
 	})
+	if len(linkFlags) > 0 && !o.disagg {
+		return fmt.Errorf("%s model the KV hand-off link and only take effect with -disagg", strings.Join(linkFlags, ", "))
+	}
+	fc := o.faultConfig()
+	if (fc.MTBF > 0 || fc.LinkDegradeFrac > 0 || fc.LinkPartitionFrac > 0) && fc.Horizon <= 0 {
+		return fmt.Errorf("-mtbf and the -link-* impairments need -fault-horizon to bound when failures can land")
+	}
+	if err := fc.Validate(); err != nil {
+		return err
+	}
+	if fc.Enabled() && !o.disagg && o.replicas <= 1 {
+		return fmt.Errorf("fault injection needs a router to recover through: use fleet mode (-replicas > 1) or -disagg")
+	}
 	if o.disagg {
 		if s := strings.ToLower(o.sched); s != "tdpipe" && s != "td-pipe" {
 			return fmt.Errorf("disaggregated mode (-disagg) requires -sched tdpipe, got %q", o.sched)

@@ -108,6 +108,20 @@ type Config struct {
 	// SLO is the latency objective folded into the run's latency
 	// digest (goodput accounting). The zero value disables it.
 	SLO metrics.SLO
+
+	// Slowdown stretches every pass's duration by this factor — the
+	// straggler-replica model of the fault injector (1.0 and 0 both
+	// mean nominal speed; 1.3 models a 30% slower node).
+	Slowdown float64
+
+	// CheckpointInterval, when > 0, snapshots the KV of every resident
+	// request with output every this many virtual seconds, so a crash
+	// can resume them from the checkpoint instead of re-prefilling
+	// (fault-tolerance trade-off: each round stalls the GPUs for the
+	// serialization time). Zero disables checkpointing entirely — no
+	// extra events are scheduled, preserving bit-identical fault-free
+	// runs.
+	CheckpointInterval float64
 }
 
 // DefaultConfig returns paper-faithful settings for a node/model/world.
@@ -142,6 +156,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: future points %d/%d", c.FuturePointStride, c.FuturePointMax)
 	case c.PeakProfileBatch <= 0:
 		return fmt.Errorf("core: PeakProfileBatch = %d", c.PeakProfileBatch)
+	case c.Slowdown < 0:
+		return fmt.Errorf("core: Slowdown = %v", c.Slowdown)
+	case c.CheckpointInterval < 0:
+		return fmt.Errorf("core: CheckpointInterval = %v", c.CheckpointInterval)
 	}
 	if err := c.Node.Validate(); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -12,6 +13,14 @@ import (
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// ErrRequestTooLarge rejects a request at submission because its KV
+// footprint can never fit the engine's pool: even with every other
+// request evicted, the decode plane would OOM-loop on it forever (the
+// old behavior was a crash-looping "core: stalled" panic deep in the
+// phase machine). Callers distinguish it with errors.Is to drop the
+// request with a reason instead of failing the run.
+var ErrRequestTooLarge = errors.New("request KV footprint exceeds engine capacity")
 
 // scratchReuse gates the recycling of per-iteration scratch buffers
 // (prefill id/len slices, decode batch slices, the decode pool, pack
@@ -50,6 +59,13 @@ type reqState struct {
 	// (recompute evictions keep the original first-token time).
 	firstTokenAt sim.Time
 	finishedAt   sim.Time
+	// aborted marks a request lost to a crash: it stays in states for
+	// record-keeping (its record is unfinished) but no longer counts
+	// toward completion. Routers re-dispatch it elsewhere.
+	aborted bool
+	// ckpt is the latest periodic KV checkpoint of this request (nil
+	// until the first checkpoint round catches it resident).
+	ckpt *Checkpoint
 }
 
 func (s *reqState) remainingPredicted() int {
@@ -139,6 +155,27 @@ type Engine struct {
 	// paths.
 	shutdown bool
 
+	// Fault-injection lifecycle state. epoch counts crash/restore
+	// cycles; every scheduled event and pass completion carries the
+	// epoch that issued it and is discarded when stale, so work in
+	// flight at a crash cannot touch the restarted engine. dead is true
+	// between Crash and Restore (no work is accepted); aborted counts
+	// requests lost to crashes (Finalize's balance becomes finished +
+	// aborted == submitted). fatalErr parks the engine on an internal
+	// error instead of panicking inside the shared event loop; Finalize
+	// surfaces it.
+	epoch    int
+	dead     bool
+	aborted  int
+	fatalErr error
+	crashes  int
+
+	// Checkpoint cadence state (Config.CheckpointInterval).
+	ckptScheduled    bool
+	checkpoints      int
+	checkpointBytes  float64
+	lostOutputTokens int
+
 	// onFinish, when set, is invoked synchronously as each request
 	// completes — the O(1) load-tracking hook online routers use
 	// instead of rescanning outstanding requests.
@@ -185,6 +222,9 @@ func NewEngine(eng *sim.Engine, cfg Config) (*Engine, error) {
 	if err != nil {
 		cluster.Shutdown()
 		return nil, err
+	}
+	if cfg.Slowdown > 0 {
+		cluster.SetSlowdown(cfg.Slowdown)
 	}
 	e := &Engine{
 		cfg:            cfg,
@@ -243,8 +283,17 @@ func (e *Engine) SetHandoff(fn func(Handoff)) { e.handoff = fn }
 // transfer's completion instant) and for checking CanImportKV first; an
 // import that does not fit is returned as an error, not queued. The
 // request keeps its original arrival and first-token instants, so
-// latency records span the whole disaggregated lifecycle.
+// latency records span the whole disaggregated lifecycle. Checkpoint
+// recovery reuses this entry point: a crash-lost request's periodic KV
+// checkpoint replayed here resumes generation from the checkpointed
+// token instead of re-prefilling.
 func (e *Engine) SubmitDecoded(r workload.Request, h Handoff) (int, error) {
+	if e.dead {
+		return 0, fmt.Errorf("core: import on crashed engine")
+	}
+	if err := e.checkFits(r, h.KV.Tokens); err != nil {
+		return 0, err
+	}
 	id := len(e.states)
 	r.ID = id
 	if _, err := e.kv.ImportKV(id, h.KV); err != nil {
@@ -318,7 +367,9 @@ func (e *Engine) Start(reqs []workload.Request) error {
 		if r.ID != i {
 			return fmt.Errorf("core: request IDs must be dense 0..n-1 (got %d at %d)", r.ID, i)
 		}
-		e.addRequest(r)
+		if err := e.addRequest(r); err != nil {
+			return err
+		}
 	}
 	if e.waiting.Len() > 0 {
 		e.startPrefillPhase()
@@ -344,12 +395,256 @@ func (e *Engine) StartOnline() error {
 // renumbering it to the engine's dense ID space, and returns that local
 // ID. It is the online-router entry point: call between StartOnline and
 // Finalize, from inside the shared simulation's event context. A future
-// ArrivalTime is honored rather than admitted early.
-func (e *Engine) Submit(r workload.Request) int {
+// ArrivalTime is honored rather than admitted early. Requests that can
+// never fit the KV pool are rejected with ErrRequestTooLarge; crashed
+// engines accept nothing until Restore.
+func (e *Engine) Submit(r workload.Request) (int, error) {
+	if e.dead {
+		return 0, fmt.Errorf("core: submit to crashed engine")
+	}
 	id := len(e.states)
 	r.ID = id
-	e.addRequest(r)
-	return id
+	if err := e.addRequest(r); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// SubmitRecovered re-admits a request aborted by a crash elsewhere for
+// recompute recovery: like the eviction path, the engine prefills
+// input+generated tokens from scratch and generation resumes where it
+// stopped, with the original first-token instant preserved so latency
+// records span the whole lifecycle. generated must be the token count
+// already delivered (0 for a request that never started decoding).
+func (e *Engine) SubmitRecovered(r workload.Request, generated int, firstTokenAt sim.Time) (int, error) {
+	if e.dead {
+		return 0, fmt.Errorf("core: submit to crashed engine")
+	}
+	if generated < 0 || generated >= r.OutputLen {
+		return 0, fmt.Errorf("core: recovered request %d with %d of %d tokens generated", r.ID, generated, r.OutputLen)
+	}
+	if err := e.checkFits(r, r.InputLen+generated); err != nil {
+		return 0, err
+	}
+	id := len(e.states)
+	r.ID = id
+	st := e.newState(r)
+	st.generated = generated
+	st.prefillLen = r.InputLen + generated
+	st.firstTokenAt = firstTokenAt
+	e.states = append(e.states, st)
+	e.admit(id)
+	return id, nil
+}
+
+// checkFits rejects a request whose worst-case KV demand exceeds the
+// whole pool: the largest single allocation it will request (ctxTokens,
+// its prefill length or imported context) and the decode-plane peak it
+// grows to — input + output - 2 tokens, since the last token needs no
+// KV slot. Such a request used to OOM-evict everything else and then
+// crash-loop the phase machine; now it is refused up front.
+func (e *Engine) checkFits(r workload.Request, ctxTokens int) error {
+	peak := r.InputLen
+	if extra := r.OutputLen - 2; extra > 0 {
+		peak += extra
+	}
+	if ctxTokens > peak {
+		peak = ctxTokens
+	}
+	if need := e.kv.BlocksFor(peak); need > e.kv.CapacityBlocks() {
+		return fmt.Errorf("core: request of %d input + %d output tokens needs %d KV blocks, capacity is %d: %w",
+			r.InputLen, r.OutputLen, need, e.kv.CapacityBlocks(), ErrRequestTooLarge)
+	}
+	return nil
+}
+
+// Checkpoint is a periodic KV snapshot of one in-flight request, taken
+// by the engine's checkpoint cadence (Config.CheckpointInterval). A
+// crash hands it to the router inside Lost; replaying it through
+// SubmitDecoded on a live engine resumes generation from the
+// checkpointed token instead of re-prefilling the whole context.
+type Checkpoint struct {
+	// KV is the snapshotted block window (valid for ImportKV).
+	KV kvcache.ExportedSeq
+	// Generated is how many output tokens existed at the snapshot.
+	Generated int
+	// FirstTokenAt is the request's original first-token instant.
+	FirstTokenAt sim.Time
+	// At is when the snapshot was taken.
+	At sim.Time
+}
+
+// Lost describes one request aborted by Crash: everything a router
+// needs to re-dispatch it — the original request, how much generation
+// work died with the replica, and the latest checkpoint if one exists.
+type Lost struct {
+	// Local is the request's id on the crashed engine.
+	Local int
+	// Req is the engine-local copy of the request (ID == Local).
+	Req workload.Request
+	// Generated is how many output tokens had been produced (work a
+	// recompute resume must redo; a checkpoint resume redoes only the
+	// post-checkpoint suffix).
+	Generated int
+	// FirstTokenAt is when the first token was produced (zero value if
+	// the request never started decoding).
+	FirstTokenAt sim.Time
+	// Ckpt is the latest periodic KV checkpoint, nil if none was taken.
+	Ckpt *Checkpoint
+}
+
+// Crash kills the engine at the current virtual time: every in-flight
+// request is aborted and returned for the caller to re-dispatch, all KV
+// is lost (the pool is rebuilt empty), and the cluster's GPUs are held
+// unavailable until restartAt — the caller folds restart delay and
+// weight-reload time into that instant. Work already submitted to the
+// pipeline completes in virtual time but its results are discarded via
+// the epoch guard. The engine accepts no submissions until Restore.
+func (e *Engine) Crash(restartAt sim.Time) ([]Lost, error) {
+	if !e.running {
+		return nil, fmt.Errorf("core: crash of an engine that never started")
+	}
+	if e.dead {
+		return nil, fmt.Errorf("core: crash of an already-crashed engine")
+	}
+	now := e.eng.Now()
+	if restartAt < now {
+		return nil, fmt.Errorf("core: restart at %v precedes crash at %v", restartAt, now)
+	}
+	e.dead = true
+	e.epoch++
+	e.crashes++
+	var lost []Lost
+	for id, st := range e.states {
+		if st.done || st.aborted {
+			continue
+		}
+		st.aborted = true
+		e.aborted++
+		e.lostOutputTokens += st.generated
+		lost = append(lost, Lost{
+			Local:        id,
+			Req:          st.req,
+			Generated:    st.generated,
+			FirstTokenAt: st.firstTokenAt,
+			Ckpt:         st.ckpt,
+		})
+	}
+	// Wipe the in-flight machinery. Completions already queued in the
+	// simulation carry the old epoch and will be discarded; the decode
+	// callbacks are truncated so the next decode phase rebinds them with
+	// the new epoch.
+	e.waiting.Reset()
+	e.decodePool = e.decodePool[:0]
+	e.imported = e.imported[:0]
+	for s := range e.batches {
+		e.batches[s] = e.batches[s][:0]
+	}
+	e.batches = e.batches[:0]
+	e.decodeDone = e.decodeDone[:0]
+	e.inflight = 0
+	e.activeBatches = 0
+	e.numSlots = 0
+	e.switchToPrefil = false
+	e.pendingArrivals = 0
+	e.ckptScheduled = false
+	// The process died: its KV pool dies with it.
+	kv, err := kvcache.NewManager(e.kv.CapacityTokens(), e.kv.BlockSize())
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding KV pool after crash: %w", err)
+	}
+	e.kv = kv
+	// Model the downtime: every GPU is unavailable until restartAt.
+	e.cluster.Stall(now, float64(restartAt-now))
+	// The replica worked up to this instant; without this a replica that
+	// was never allowed to drain naturally reports Elapsed 0.
+	e.finish(now)
+	e.idle = true
+	return lost, nil
+}
+
+// Restore brings a crashed engine back to life at the current virtual
+// time (call at the restart instant passed to Crash). The engine is
+// idle and empty; submissions kick the phase machine as usual.
+func (e *Engine) Restore() error {
+	if !e.dead {
+		return fmt.Errorf("core: restore of a live engine")
+	}
+	e.dead = false
+	return nil
+}
+
+// Alive reports whether the engine accepts work right now — started and
+// not between Crash and Restore. Health-checked routers poll this.
+func (e *Engine) Alive() bool { return e.running && !e.dead }
+
+// Crashes returns how many times this engine has crashed.
+func (e *Engine) Crashes() int { return e.crashes }
+
+// fail parks the engine on an internal error instead of panicking
+// inside the shared event loop (a fleet shares one simulation; one
+// replica's bug must not take down the whole run's diagnostics).
+// Finalize surfaces the first error.
+func (e *Engine) fail(err error) {
+	if e.fatalErr == nil {
+		e.fatalErr = err
+	}
+}
+
+// maybeScheduleCheckpoint arms the periodic checkpoint timer when the
+// cadence is configured and no timer is pending. Called at phase starts
+// so an idle engine never holds a live timer (the simulation must be
+// able to drain to termination).
+func (e *Engine) maybeScheduleCheckpoint() {
+	if e.cfg.CheckpointInterval <= 0 || e.ckptScheduled || e.dead {
+		return
+	}
+	e.ckptScheduled = true
+	e.eng.AtFunc(e.eng.Now()+sim.Time(e.cfg.CheckpointInterval), checkpointEvent, e, e.epoch, 0)
+}
+
+// checkpointEvent fires one checkpoint round and re-arms, unless the
+// engine went idle (the next phase start re-arms), died (recovery owns
+// the requests now) or failed.
+func checkpointEvent(ctx any, ep, _ int) {
+	e := ctx.(*Engine)
+	if ep != e.epoch {
+		return
+	}
+	e.ckptScheduled = false
+	if e.dead || e.fatalErr != nil || e.idle {
+		return
+	}
+	e.doCheckpoint()
+	e.ckptScheduled = true
+	e.eng.AtFunc(e.eng.Now()+sim.Time(e.cfg.CheckpointInterval), checkpointEvent, e, e.epoch, 0)
+}
+
+// doCheckpoint snapshots the KV of every resident in-flight request
+// that has produced output (prefill-only context is cheaper to redo
+// than to ship, so it is not checkpointed) and charges the serialization
+// as a stall on every GPU, sized by the node's KV link.
+func (e *Engine) doCheckpoint() {
+	now := e.eng.Now()
+	blocks := 0
+	for id, st := range e.states {
+		if st.done || st.aborted || st.evicted || st.generated == 0 || !e.kv.Has(id) {
+			continue
+		}
+		ex, err := e.kv.SnapshotKV(id)
+		if err != nil {
+			continue
+		}
+		st.ckpt = &Checkpoint{KV: ex, Generated: st.generated, FirstTokenAt: st.firstTokenAt, At: now}
+		blocks += ex.Blocks()
+	}
+	if blocks == 0 {
+		return
+	}
+	e.checkpoints++
+	bytes := float64(blocks*e.kv.BlockSize()) * e.cfg.Spec.KVBytesPerToken()
+	e.checkpointBytes += bytes
+	e.cluster.Stall(now, e.cfg.Node.KVTransferTime(bytes))
 }
 
 func (e *Engine) newState(r workload.Request) *reqState {
@@ -362,9 +657,14 @@ func (e *Engine) newState(r workload.Request) *reqState {
 }
 
 // arrivalEvent admits a request when its arrival instant is reached
-// (scheduled allocation-free via AtFunc: ctx is the engine, a the id).
-func arrivalEvent(ctx any, id, _ int) {
+// (scheduled allocation-free via AtFunc: ctx is the engine, a the id,
+// b the epoch that scheduled it — a crash in between voids the event,
+// the request was aborted and recovery owns it).
+func arrivalEvent(ctx any, id, ep int) {
 	e := ctx.(*Engine)
+	if ep != e.epoch {
+		return
+	}
 	e.pendingArrivals--
 	e.admit(id)
 }
@@ -372,20 +672,27 @@ func arrivalEvent(ctx any, id, _ int) {
 // addRequest registers one request: due requests are admitted right
 // away (a bare queue append while Start seeds with idle unset), future
 // ones become arrival events.
-func (e *Engine) addRequest(r workload.Request) {
+func (e *Engine) addRequest(r workload.Request) error {
+	if err := e.checkFits(r, r.InputLen); err != nil {
+		return err
+	}
 	id := len(e.states)
 	e.states = append(e.states, e.newState(r))
 	if at := sim.Time(r.ArrivalTime); at > e.eng.Now() {
 		e.pendingArrivals++
-		e.eng.AtFunc(at, arrivalEvent, e, id, 0)
-		return
+		e.eng.AtFunc(at, arrivalEvent, e, id, e.epoch)
+		return nil
 	}
 	e.admit(id)
+	return nil
 }
 
 // admit moves an arrived request into the waiting queue and, if the
 // engine drained to idle, restarts the phase machine.
 func (e *Engine) admit(id int) {
+	if e.fatalErr != nil {
+		return
+	}
 	e.waiting.PushBack(id)
 	if e.idle {
 		e.idle = false
@@ -437,9 +744,12 @@ func (e *Engine) Shutdown() {
 // result. Call after the simulation has run to completion.
 func (e *Engine) Finalize() (*Result, error) {
 	e.Shutdown()
-	if e.finished != len(e.states) {
-		return nil, fmt.Errorf("core: run stalled with %d/%d finished at t=%v (waiting=%d, pool=%d, active=%d)",
-			e.finished, len(e.states), e.eng.Now(), e.waiting.Len(), len(e.decodePool), e.activeBatches)
+	if e.fatalErr != nil {
+		return nil, e.fatalErr
+	}
+	if e.finished+e.aborted != len(e.states) {
+		return nil, fmt.Errorf("core: run stalled with %d/%d finished (%d aborted) at t=%v (waiting=%d, pool=%d, active=%d)",
+			e.finished, len(e.states), e.aborted, e.eng.Now(), e.waiting.Len(), len(e.decodePool), e.activeBatches)
 	}
 	return e.buildResult(), nil
 }
@@ -455,6 +765,7 @@ func (e *Engine) setPhase(p metrics.Phase) {
 }
 
 func (e *Engine) startPrefillPhase() {
+	e.maybeScheduleCheckpoint()
 	e.setPhase(metrics.PhasePrefill)
 	// Rebuild Algorithm 1's usage map from still-resident requests so
 	// their predicted lifetimes constrain how much we admit.
@@ -554,9 +865,9 @@ func (e *Engine) launchPrefills() (launched int) {
 		}
 		e.inflight++
 		launched++
-		idsCopy := ids
+		idsCopy, ep := ids, e.epoch
 		e.cluster.SubmitPass(runtime.PrefillTask(batch), e.eng.Now(), func(res runtime.PassResult) {
-			e.onPrefillDone(idsCopy, launchID, res)
+			e.onPrefillDone(idsCopy, launchID, ep, res)
 		})
 		// Algorithm 1: account the new requests and check the switch
 		// condition after each launched prefill. Shared prefix blocks
@@ -581,7 +892,17 @@ func (e *Engine) launchPrefills() (launched int) {
 	return launched
 }
 
-func (e *Engine) onPrefillDone(ids []int, launchID uint64, res runtime.PassResult) {
+func (e *Engine) onPrefillDone(ids []int, launchID uint64, ep int, res runtime.PassResult) {
+	if ep != e.epoch {
+		// The issuing engine incarnation crashed while this pass was in
+		// flight: its requests were aborted and re-dispatched elsewhere,
+		// only the scratch buffer is worth salvaging.
+		e.putScratchIDs(ids)
+		return
+	}
+	if e.fatalErr != nil {
+		return
+	}
 	e.inflight--
 	e.step++
 	for _, id := range ids {
@@ -645,7 +966,7 @@ func (e *Engine) onPrefillDone(ids []int, launchID uint64, res runtime.PassResul
 // an overlapped switch one plane drains while the other fills, so both
 // completion paths funnel here.)
 func (e *Engine) afterPrefillDrained() {
-	if e.inflight > 0 || e.activeBatches > 0 {
+	if e.inflight > 0 || e.activeBatches > 0 || e.fatalErr != nil {
 		return
 	}
 	// Imported requests staged during the drained phase join the pool
@@ -659,9 +980,12 @@ func (e *Engine) afterPrefillDrained() {
 		e.startDecodePhase()
 	case e.waiting.Len() > 0:
 		// Everything prefilled so far finished during prefill (or was
-		// evicted); memory is free again, keep prefilling.
+		// evicted); memory is free again, keep prefilling. Submit-time
+		// size checks make this unreachable for admissible traces, but a
+		// stall must park the engine with an error, not panic the shared
+		// event loop (Finalize surfaces it).
 		if e.launchPrefills() == 0 && e.inflight == 0 {
-			panic(fmt.Sprintf("core: stalled: %d waiting requests, empty pool, nothing admissible (free=%d tokens)",
+			e.fail(fmt.Errorf("core: stalled: %d waiting requests, empty pool, nothing admissible (free=%d tokens)",
 				e.waiting.Len(), e.kv.FreeBlocks()*e.kv.BlockSize()))
 		}
 	default:
@@ -699,6 +1023,7 @@ func (e *Engine) overlapPrefill() {
 }
 
 func (e *Engine) startDecodePhase() {
+	e.maybeScheduleCheckpoint()
 	e.setPhase(metrics.PhaseDecode)
 	// Drop evicted ids; sort for determinism.
 	pool := e.decodePool[:0]
@@ -746,10 +1071,11 @@ func (e *Engine) startDecodePhase() {
 		e.sizesBuf = sizes
 	}
 	// Completion callbacks are bound per slot once and reused by every
-	// decode step submitted to that slot.
+	// decode step submitted to that slot (Crash truncates the list so a
+	// restarted engine rebinds them with its new epoch).
 	for len(e.decodeDone) < e.numSlots {
-		slot := len(e.decodeDone)
-		e.decodeDone = append(e.decodeDone, func(res runtime.PassResult) { e.onDecodeDone(slot, res) })
+		slot, ep := len(e.decodeDone), e.epoch
+		e.decodeDone = append(e.decodeDone, func(res runtime.PassResult) { e.onDecodeDone(slot, ep, res) })
 	}
 	e.stealer = NewStealer(e.numSlots, !e.cfg.DisableWorkStealing)
 	e.stealer.Prime(sizes)
@@ -771,7 +1097,10 @@ func (e *Engine) submitDecode(slot int, readyAt sim.Time) {
 	e.cluster.SubmitDecode(len(ids), kvTokens, readyAt, e.decodeDone[slot])
 }
 
-func (e *Engine) onDecodeDone(slot int, res runtime.PassResult) {
+func (e *Engine) onDecodeDone(slot, ep int, res runtime.PassResult) {
+	if ep != e.epoch || e.fatalErr != nil {
+		return
+	}
 	e.step++
 	survivors := e.batches[slot][:0]
 	for _, id := range e.batches[slot] {
@@ -1021,12 +1350,19 @@ func (e *Engine) buildResult() *Result {
 		Node:      e.cfg.Node.Name,
 		Model:     e.cfg.Spec.Name,
 		GPUs:      e.cfg.World,
-		Requests:  len(e.states),
+		Requests:  e.finished,
 		Elapsed:   float64(e.doneAt),
 	}
 	finished := make([]sim.Time, len(e.states))
 	records := make([]metrics.RequestRecord, len(e.states))
 	for i, st := range e.states {
+		if st.aborted {
+			// Crash-lost copy: its record stays unfinished (zero Finish,
+			// zero tokens — Faults.LostOutputTokens accounts the work)
+			// and the re-dispatched copy reports elsewhere.
+			records[i] = metrics.RequestRecord{ID: i, Arrival: float64(st.arrival)}
+			continue
+		}
 		rep.InputTokens += st.req.InputLen
 		rep.OutputTokens += st.generated
 		finished[i] = st.finishedAt
@@ -1048,6 +1384,13 @@ func (e *Engine) buildResult() *Result {
 		rep.KVPeakUsage = float64(e.kv.PeakBlocks()) / float64(e.kv.CapacityBlocks())
 	}
 	rep.Latency = metrics.Digest(records, e.cfg.SLO)
+	rep.Faults = metrics.FaultStats{
+		Crashes:          e.crashes,
+		AbortedRequests:  e.aborted,
+		Checkpoints:      e.checkpoints,
+		CheckpointBytes:  e.checkpointBytes,
+		LostOutputTokens: e.lostOutputTokens,
+	}
 	var kvt *metrics.KVTimeline
 	if e.cfg.RecordKV {
 		kvt = e.kvTimeline

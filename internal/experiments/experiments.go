@@ -63,7 +63,10 @@ func NewEnv(o Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	train, val, test := workload.Split(pool, 0.6, 0.2)
+	train, val, test, err := workload.Split(pool, 0.6, 0.2)
+	if err != nil {
+		return nil, err
+	}
 	clf, err := predictor.Train(train, predictor.DefaultTrainConfig())
 	if err != nil {
 		return nil, err

@@ -43,7 +43,10 @@ func Fig14(env *Env) (*Fig14Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		train, _, test := workload.Split(pool, 0.6, 0.2)
+		train, _, test, err := workload.Split(pool, 0.6, 0.2)
+		if err != nil {
+			return nil, err
+		}
 		clf, err := predictor.Train(train, predictor.DefaultTrainConfig())
 		if err != nil {
 			return nil, err

@@ -1,0 +1,227 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+func validCfg() Config {
+	return Config{
+		Seed:    1,
+		Horizon: 100,
+		MTBF:    40,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"zero is fault-free", func(c *Config) { *c = Config{} }, true},
+		{"valid crashes", func(c *Config) {}, true},
+		{"negative horizon", func(c *Config) { c.Horizon = -1 }, false},
+		{"negative mtbf", func(c *Config) { c.MTBF = -1 }, false},
+		{"mtbf without horizon", func(c *Config) { c.Horizon = 0 }, false},
+		{"negative restart delay", func(c *Config) { c.RestartDelay = -1 }, false},
+		{"negative max crashes", func(c *Config) { c.MaxCrashes = -1 }, false},
+		{"negative max retries", func(c *Config) { c.MaxRetries = -1 }, false},
+		{"negative stragglers", func(c *Config) { c.Stragglers = -1 }, false},
+		{"straggler factor 1", func(c *Config) { c.Stragglers = 1; c.StragglerFactor = 1 }, false},
+		{"straggler ok", func(c *Config) { c.Stragglers = 1; c.StragglerFactor = 1.3 }, true},
+		{"degrade frac range", func(c *Config) { c.LinkDegradeFrac = 1.5 }, false},
+		{"partition frac range", func(c *Config) { c.LinkPartitionFrac = -0.1 }, false},
+		{"fracs sum over 1", func(c *Config) { c.LinkDegradeFrac = 0.6; c.LinkDegradeFactor = 2; c.LinkPartitionFrac = 0.6 }, false},
+		{"degrade needs factor", func(c *Config) { c.LinkDegradeFrac = 0.5; c.LinkDegradeFactor = 1 }, false},
+		{"links need horizon", func(c *Config) { *c = Config{LinkPartitionFrac: 0.5} }, false},
+		{"negative checkpoint interval", func(c *Config) { c.CheckpointInterval = -1 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validCfg()
+			tc.mut(&c)
+			err := c.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestNewPlanDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed: 42, Horizon: 200, MTBF: 50, RestartDelay: 2,
+		Stragglers: 1, StragglerFactor: 1.4,
+		LinkDegradeFrac: 0.3, LinkDegradeFactor: 3, LinkPartitionFrac: 0.2,
+	}
+	a, err := NewPlan(cfg, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(cfg, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 43
+	c, err := NewPlan(cfg, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Crashes, c.Crashes) && reflect.DeepEqual(a.Slowdowns, c.Slowdowns) && reflect.DeepEqual(a.Links, c.Links) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestNewPlanCrashInvariants(t *testing.T) {
+	cfg := Config{Seed: 7, Horizon: 500, MTBF: 30, RestartDelay: 1}
+	const downtime = 4.0
+	p, err := NewPlan(cfg, 3, downtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) == 0 {
+		t.Fatal("expected crashes over a long horizon")
+	}
+	last := make(map[int]float64)
+	for i, c := range p.Crashes {
+		if c.At < 0 || c.At >= cfg.Horizon {
+			t.Fatalf("crash %d at %v outside [0, %v)", i, c.At, cfg.Horizon)
+		}
+		if got := c.RestartAt - c.At; math.Abs(got-downtime) > 1e-12 {
+			t.Fatalf("crash %d downtime %v, want %v", i, got, downtime)
+		}
+		if i > 0 && p.Crashes[i-1].At > c.At {
+			t.Fatalf("crashes not sorted at %d", i)
+		}
+		// Per replica, the next crash must come after the previous
+		// restart: no overlapping outages.
+		if prev, ok := last[c.Replica]; ok && c.At < prev {
+			t.Fatalf("replica %d crashes at %v before restart %v", c.Replica, c.At, prev)
+		}
+		last[c.Replica] = c.RestartAt
+	}
+
+	cfg.MaxCrashes = 2
+	p2, err := NewPlan(cfg, 3, downtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Crashes) != 2 {
+		t.Fatalf("MaxCrashes=2 kept %d crashes", len(p2.Crashes))
+	}
+}
+
+func TestPlanStragglers(t *testing.T) {
+	cfg := Config{Seed: 3, Stragglers: 2, StragglerFactor: 1.5}
+	p, err := NewPlan(cfg, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := 0; i < 5; i++ {
+		if f := p.SlowdownFor(i); f != 0 {
+			if f != 1.5 {
+				t.Fatalf("SlowdownFor(%d) = %v", i, f)
+			}
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("%d stragglers, want 2", n)
+	}
+	if got := p.SlowdownFor(99); got != 0 {
+		t.Fatalf("out-of-range SlowdownFor = %v", got)
+	}
+}
+
+func TestNilPlanSafe(t *testing.T) {
+	var p *Plan
+	if p.Active() {
+		t.Fatal("nil plan Active")
+	}
+	if got := p.SlowdownFor(0); got != 0 {
+		t.Fatalf("nil SlowdownFor = %v", got)
+	}
+	if got := p.MaxRetries(); got != DefaultMaxRetries {
+		t.Fatalf("nil MaxRetries = %d", got)
+	}
+	if got := p.TransferDone(3, 2); got != 5 {
+		t.Fatalf("nil TransferDone = %v", got)
+	}
+}
+
+func TestTransferDone(t *testing.T) {
+	p := &Plan{Links: []Window{
+		{Start: 10, End: 20, Factor: 2}, // degraded: half rate
+		{Start: 30, End: 40, Factor: 0}, // partition: no progress
+	}}
+	cases := []struct {
+		name       string
+		start, dur float64
+		want       float64
+	}{
+		{"before windows", 0, 5, 5},
+		{"ends at window edge", 0, 10, 10},
+		{"straddles degrade", 8, 4, 14},    // 2s clean, 2s at half rate = 4s in-window
+		{"inside degrade", 12, 3, 18},      // 3s of work takes 6s
+		{"spans past degrade", 10, 7, 22},  // window supplies 5s capacity in 10s, 2s after
+		{"hits partition", 28, 4, 42},      // 2s clean, stall to 40, 2s after
+		{"starts in partition", 33, 1, 41}, // stall to 40 first
+		{"after all windows", 50, 3, 53},   // clean
+		{"zero duration", 15, 0, 15},       // no-op
+		{"through both", 0, 25, 50},        // 10 clean + 5 in degrade + 10 clean(20..30) = dur 25 at t=40? recompute below
+	}
+	for _, tc := range cases[:len(cases)-1] {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.TransferDone(tc.start, tc.dur); math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("TransferDone(%v, %v) = %v, want %v", tc.start, tc.dur, got, tc.want)
+			}
+		})
+	}
+	// through both: 10s clean [0,10), degrade [10,20) supplies 5s of
+	// work, clean [20,30) supplies the remaining 10s — done exactly at
+	// the partition's edge, never entering it.
+	if got := p.TransferDone(0, 25); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("TransferDone(0, 25) = %v, want 30", got)
+	}
+	// One more second of work would stall through the partition.
+	if got := p.TransferDone(0, 26); math.Abs(got-41) > 1e-9 {
+		t.Fatalf("TransferDone(0, 26) = %v, want 41", got)
+	}
+}
+
+func TestWeightReloadTime(t *testing.T) {
+	node, spec := hw.L20, model.Tiny
+	got := WeightReloadTime(node, spec, 2)
+	if got <= 0 {
+		t.Fatalf("WeightReloadTime = %v, want > 0", got)
+	}
+	plan, err := model.Partition(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max float64
+	for st := range plan.Stages {
+		if b := plan.StageWeightBytes(st); b > max {
+			max = b
+		}
+	}
+	if want := node.P2PTime(max); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WeightReloadTime = %v, want %v", got, want)
+	}
+	// Unpartitionable world: graceful zero, not a panic.
+	if got := WeightReloadTime(node, spec, 10_000); got != 0 {
+		t.Fatalf("unpartitionable WeightReloadTime = %v, want 0", got)
+	}
+}

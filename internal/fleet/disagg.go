@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -83,10 +84,13 @@ type recRef struct {
 	local   int
 }
 
-// handoffItem is one in-flight migration.
+// handoffItem is one in-flight migration. recovery marks checkpoint
+// restores re-entering the decode pool after a crash (counted as
+// recoveries, not hand-offs).
 type handoffItem struct {
-	origin int
-	h      core.Handoff
+	origin   int
+	h        core.Handoff
+	recovery bool
 }
 
 // disaggRouter coordinates the two pools inside the shared simulation.
@@ -126,6 +130,20 @@ type disaggRouter struct {
 	moved    float64
 	queued   int
 	err      error
+
+	// Fault-injection state, all nil/zero when plan is nil — the
+	// fault-free run takes the exact pre-fault code paths.
+	plan *faults.Plan
+	// fin[origin] counts terminal finishes: +1 at any engine finish,
+	// -1 when a prefill "finish" was really a hand-off. Conservation
+	// demands exactly 1 (finished) xor a drop reason.
+	fin      []int
+	attempts []int
+	// droppedReason[origin] is non-empty once the request is abandoned.
+	droppedReason []string
+	// queuedPrefill holds origins waiting for a live prefill replica.
+	queuedPrefill []int
+	fstats        metrics.FaultStats
 }
 
 // RunDisagg serves an arrival-stamped trace on a disaggregated fleet:
@@ -137,6 +155,25 @@ type disaggRouter struct {
 // (all arrivals at t=0) are served the same way — every request routes
 // at t=0.
 func RunDisagg(cfg core.Config, dc DisaggConfig, reqs []workload.Request) (*DisaggResult, error) {
+	return disaggRun(cfg, dc, reqs, nil)
+}
+
+// RunDisaggFaults is RunDisagg under a fault plan: replica crashes hit
+// both pools, stragglers run slowed, KV hand-offs cross the impaired
+// link timeline, and crash-lost requests are re-dispatched — resumed
+// from their periodic KV checkpoint on the decode pool when one exists,
+// re-prefilled from scratch through the prefill pool otherwise.
+// Requests that exhaust the retry budget or fit nowhere when the run
+// drains are dropped with a reason and accounted in Report.Faults. An
+// inactive (or nil) plan takes the exact RunDisagg code path.
+func RunDisaggFaults(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *faults.Plan) (*DisaggResult, error) {
+	if !plan.Active() {
+		return disaggRun(cfg, dc, reqs, nil)
+	}
+	return disaggRun(cfg, dc, reqs, plan)
+}
+
+func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *faults.Plan) (*DisaggResult, error) {
 	if err := dc.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,7 +195,7 @@ func RunDisagg(cfg core.Config, dc DisaggConfig, reqs []workload.Request) (*Disa
 		}
 	}
 	for i := 0; i < total; i++ {
-		e, err := core.NewEngine(eng, cfg)
+		e, err := core.NewEngine(eng, replicaConfig(cfg, plan, i))
 		if err != nil {
 			shutdownAll()
 			return nil, fmt.Errorf("fleet: disagg replica %d: %w", i, err)
@@ -190,8 +227,14 @@ func RunDisagg(cfg core.Config, dc DisaggConfig, reqs []workload.Request) (*Disa
 		dEntries:   make([][]loadEntry, dc.DecodeReplicas),
 		dShards:    make([]Shard, dc.DecodeReplicas),
 		loads:      make([]Load, max(dc.PrefillReplicas, dc.DecodeReplicas)),
-		cand:       make([]int, 0, dc.DecodeReplicas),
+		cand:       make([]int, 0, total),
 		final:      make([]recRef, len(reqs)),
+		plan:       plan,
+	}
+	if plan != nil {
+		ro.fin = make([]int, len(reqs))
+		ro.attempts = make([]int, len(reqs))
+		ro.droppedReason = make([]string, len(reqs))
 	}
 	for i := range ro.prefill {
 		i := i
@@ -212,8 +255,27 @@ func RunDisagg(cfg core.Config, dc DisaggConfig, reqs []workload.Request) (*Disa
 		}
 		eng.AtFunc(at, disaggArrivalEvent, ro, idx, 0)
 	}
+	if plan != nil {
+		for ci, c := range plan.Crashes {
+			eng.AtFunc(sim.Time(c.At), disaggCrashEvent, ro, ci, 0)
+			eng.AtFunc(sim.Time(c.RestartAt), disaggRestoreEvent, ro, ci, 0)
+		}
+	}
 	eng.Run()
-	if ro.err == nil && len(ro.pending) > 0 {
+	if ro.err == nil && plan != nil {
+		// The run drained with work still unplaceable: account it as
+		// dropped-with-reason instead of failing the run (a fault run is
+		// allowed to lose requests, never to lose them silently).
+		for _, item := range ro.pending {
+			ro.drop(ro.items[item].origin, "stranded hand-off: fits no decode replica")
+		}
+		ro.pending = ro.pending[:0]
+		for _, origin := range ro.queuedPrefill {
+			ro.drop(origin, "no live prefill replica")
+		}
+		ro.queuedPrefill = ro.queuedPrefill[:0]
+	}
+	if ro.err == nil && plan == nil && len(ro.pending) > 0 {
 		it := ro.items[ro.pending[0]]
 		ro.err = fmt.Errorf("fleet: %d hand-offs stranded: request %d (%d KV blocks) fits no decode replica",
 			len(ro.pending), it.origin, it.h.KV.Blocks())
@@ -246,9 +308,15 @@ func disaggArrivalEvent(ctx any, idx, _ int) {
 	ro.route(ro.reqs[idx], idx)
 }
 
-// route dispatches one arrival to the prefill pool.
+// route dispatches one arrival to the prefill pool. Under a fault plan
+// the pick is health-checked: dead replicas are filtered out first, and
+// an arrival with no live prefill replica queues until a restart.
 func (ro *disaggRouter) route(r workload.Request, origin int) {
 	if ro.err != nil {
+		return
+	}
+	if ro.plan != nil {
+		ro.dispatchPrefill(origin)
 		return
 	}
 	loads := ro.loads[:len(ro.prefill)]
@@ -263,8 +331,47 @@ func (ro *disaggRouter) route(r workload.Request, origin int) {
 		ro.err = fmt.Errorf("fleet: policy %q picked prefill replica %d of %d", ro.ppolicy.Name(), k, len(ro.prefill))
 		return
 	}
+	ro.submitPrefill(r, origin, k)
+}
+
+// dispatchPrefill routes origin's request to a live prefill replica
+// (arrivals and crash recompute re-dispatches alike), queueing it when
+// the whole pool is down.
+func (ro *disaggRouter) dispatchPrefill(origin int) {
+	r := ro.reqs[origin]
+	ro.cand = ro.cand[:0]
+	loads := ro.loads[:0]
+	for i := range ro.prefill {
+		if !ro.prefill[i].Alive() {
+			continue
+		}
+		l := ro.pOut[i]
+		l.WarmTokens = ro.prefill[i].PrefixWarmTokens(r)
+		l.FreeKVTokens = ro.prefill[i].FreeKVTokens()
+		ro.cand = append(ro.cand, i)
+		loads = append(loads, l)
+	}
+	if len(ro.cand) == 0 {
+		ro.queuedPrefill = append(ro.queuedPrefill, origin)
+		return
+	}
+	j := ro.ppolicy.Pick(r, loads)
+	if j < 0 || j >= len(ro.cand) {
+		ro.err = fmt.Errorf("fleet: policy %q picked prefill candidate %d of %d", ro.ppolicy.Name(), j, len(ro.cand))
+		return
+	}
+	ro.submitPrefill(r, origin, ro.cand[j])
+}
+
+// submitPrefill lands one request on prefill replica k and records the
+// routing.
+func (ro *disaggRouter) submitPrefill(r workload.Request, origin, k int) {
 	cost := ro.ppolicy.Cost(r)
-	local := ro.prefill[k].Submit(r)
+	local, err := ro.prefill[k].Submit(r)
+	if err != nil {
+		ro.err = fmt.Errorf("fleet: prefill replica %d rejected request %d: %w", k, origin, err)
+		return
+	}
 	ro.pEntries[k] = append(ro.pEntries[k], loadEntry{inputTokens: r.InputLen, cost: cost})
 	ro.pOut[k].Requests++
 	ro.pOut[k].InputTokens += r.InputLen
@@ -276,15 +383,24 @@ func (ro *disaggRouter) route(r workload.Request, origin int) {
 	ro.final[origin] = recRef{decode: false, replica: k, local: local}
 }
 
-// prefillFinished retires a request's contribution from its prefill
-// replica's counters; it fires both for local completions and for
-// hand-offs (the prefill engine retires the request before the hand-off
-// hook runs).
-func (ro *disaggRouter) prefillFinished(replica, local int) {
+// retirePrefill removes a request's contribution from its prefill
+// replica's load counters (finish, hand-off and crash-abort alike).
+func (ro *disaggRouter) retirePrefill(replica, local int) {
 	en := ro.pEntries[replica][local]
 	ro.pOut[replica].Requests--
 	ro.pOut[replica].InputTokens -= en.inputTokens
 	ro.pOut[replica].CostTokens -= en.cost
+}
+
+// prefillFinished is the prefill engines' completion hook; it fires
+// both for local completions and for hand-offs (the prefill engine
+// retires the request before the hand-off hook runs, which immediately
+// takes the tentative finish back).
+func (ro *disaggRouter) prefillFinished(replica, local int) {
+	ro.retirePrefill(replica, local)
+	if ro.fin != nil {
+		ro.fin[ro.pShards[replica].Origin[local]]++
+	}
 }
 
 // handoff receives a prefill-completed request and schedules its KV
@@ -296,11 +412,19 @@ func (ro *disaggRouter) handoff(replica int, h core.Handoff) {
 		return
 	}
 	origin := ro.pShards[replica].Origin[h.Local]
+	if ro.fin != nil {
+		// The engine-local "finish" was a hand-off, not a completion.
+		ro.fin[origin]--
+	}
 	ro.items = append(ro.items, handoffItem{origin: origin, h: h})
 	ro.handoffs++
 	bytes := float64(h.KV.Blocks()) * ro.blockBytes
 	ro.moved += bytes
-	ro.eng.AtFunc(h.At+sim.Time(ro.xferTime(bytes)), transferDoneEvent, ro, len(ro.items)-1, 0)
+	done := float64(h.At) + ro.xferTime(bytes)
+	if ro.plan != nil {
+		done = ro.plan.TransferDone(float64(h.At), ro.xferTime(bytes))
+	}
+	ro.eng.AtFunc(sim.Time(done), transferDoneEvent, ro, len(ro.items)-1, 0)
 }
 
 // transferDoneEvent fires when a hand-off's KV transfer completes
@@ -325,7 +449,7 @@ func (ro *disaggRouter) place(item int) bool {
 	ro.cand = ro.cand[:0]
 	loads := ro.loads[:0]
 	for i := range ro.decode {
-		if !ro.decode[i].CanImportKV(it.h.KV) {
+		if !ro.decode[i].Alive() || !ro.decode[i].CanImportKV(it.h.KV) {
 			continue
 		}
 		l := ro.dOut[i]
@@ -358,6 +482,9 @@ func (ro *disaggRouter) place(item int) bool {
 	ro.dShards[k].Reqs = append(ro.dShards[k].Reqs, routed)
 	ro.dShards[k].Origin = append(ro.dShards[k].Origin, it.origin)
 	ro.final[it.origin] = recRef{decode: true, replica: k, local: local}
+	if it.recovery {
+		ro.fstats.RecoveredCheckpoint++
+	}
 	return true
 }
 
@@ -366,14 +493,23 @@ func (ro *disaggRouter) place(item int) bool {
 // the current instant (after the engine's event finishes, keeping the
 // engine re-entrancy-free).
 func (ro *disaggRouter) decodeFinished(replica, local int) {
-	en := ro.dEntries[replica][local]
-	ro.dOut[replica].Requests--
-	ro.dOut[replica].InputTokens -= en.inputTokens
-	ro.dOut[replica].CostTokens -= en.cost
+	ro.retireDecode(replica, local)
+	if ro.fin != nil {
+		ro.fin[ro.dShards[replica].Origin[local]]++
+	}
 	if len(ro.pending) > 0 && !ro.drainScheduled {
 		ro.drainScheduled = true
 		ro.eng.AtFunc(ro.eng.Now(), drainPendingEvent, ro, 0, 0)
 	}
+}
+
+// retireDecode removes a request's contribution from its decode
+// replica's load counters (finish and crash-abort alike).
+func (ro *disaggRouter) retireDecode(replica, local int) {
+	en := ro.dEntries[replica][local]
+	ro.dOut[replica].Requests--
+	ro.dOut[replica].InputTokens -= en.inputTokens
+	ro.dOut[replica].CostTokens -= en.cost
 }
 
 // drainPendingEvent retries queued hand-offs in completion order
@@ -393,9 +529,134 @@ func drainPendingEvent(ctx any, _, _ int) {
 	ro.pending = kept
 }
 
+// disaggCrashEvent executes one planned replica failure (AtFunc: ctx
+// is the router, a the crash index in the plan). The replica's
+// in-flight requests are aborted and re-dispatched: resumed from their
+// KV checkpoint on the decode pool when one exists, re-prefilled
+// through the prefill pool otherwise.
+func disaggCrashEvent(ctx any, ci, _ int) {
+	ro := ctx.(*disaggRouter)
+	if ro.err != nil {
+		return
+	}
+	c := ro.plan.Crashes[ci]
+	restart := sim.Time(c.RestartAt)
+	var lost []core.Lost
+	var err error
+	var origins []int
+	if c.Replica < len(ro.prefill) {
+		k := c.Replica
+		lost, err = ro.prefill[k].Crash(restart)
+		if err == nil {
+			for _, l := range lost {
+				ro.retirePrefill(k, l.Local)
+				origins = append(origins, ro.pShards[k].Origin[l.Local])
+			}
+		}
+	} else {
+		dk := c.Replica - len(ro.prefill)
+		lost, err = ro.decode[dk].Crash(restart)
+		if err == nil {
+			for _, l := range lost {
+				ro.retireDecode(dk, l.Local)
+				origins = append(origins, ro.dShards[dk].Origin[l.Local])
+			}
+		}
+	}
+	if err != nil {
+		ro.err = fmt.Errorf("fleet: crash of replica %d: %w", c.Replica, err)
+		return
+	}
+	for i, l := range lost {
+		ro.recover(origins[i], l)
+	}
+}
+
+// recover re-dispatches one crash-lost request, spending one retry.
+func (ro *disaggRouter) recover(origin int, l core.Lost) {
+	if ro.err != nil {
+		return
+	}
+	ro.attempts[origin]++
+	if ro.attempts[origin] > ro.plan.MaxRetries() {
+		ro.drop(origin, "retry budget exhausted")
+		return
+	}
+	if l.Ckpt != nil {
+		// Checkpoint resume: ship the snapshot back over the KV link
+		// and re-enter the decode pool through the hand-off machinery
+		// (placement, headroom queueing and the pending drain all
+		// behave exactly as for a fresh hand-off).
+		now := ro.eng.Now()
+		h := core.Handoff{
+			Local:        -1,
+			Req:          ro.reqs[origin],
+			KV:           l.Ckpt.KV,
+			Generated:    l.Ckpt.Generated,
+			FirstTokenAt: l.Ckpt.FirstTokenAt,
+			At:           now,
+		}
+		ro.items = append(ro.items, handoffItem{origin: origin, h: h, recovery: true})
+		bytes := float64(l.Ckpt.KV.Blocks()) * ro.blockBytes
+		ro.moved += bytes
+		done := ro.plan.TransferDone(float64(now), ro.xferTime(bytes))
+		ro.eng.AtFunc(sim.Time(done), transferDoneEvent, ro, len(ro.items)-1, 0)
+		return
+	}
+	// Recompute resume: the whole lifecycle restarts through the
+	// prefill pool (the generation already delivered is redone there —
+	// Faults.LostOutputTokens accounts it).
+	ro.fstats.RecoveredRecompute++
+	ro.dispatchPrefill(origin)
+}
+
+// disaggRestoreEvent brings a crashed replica back at its restart
+// instant and drains work that queued while it was (or everything was)
+// down.
+func disaggRestoreEvent(ctx any, ci, _ int) {
+	ro := ctx.(*disaggRouter)
+	if ro.err != nil {
+		return
+	}
+	c := ro.plan.Crashes[ci]
+	if c.Replica < len(ro.prefill) {
+		if err := ro.prefill[c.Replica].Restore(); err != nil {
+			ro.err = fmt.Errorf("fleet: restore of replica %d: %w", c.Replica, err)
+			return
+		}
+		if len(ro.queuedPrefill) > 0 {
+			q := ro.queuedPrefill
+			ro.queuedPrefill = nil
+			for _, origin := range q {
+				ro.dispatchPrefill(origin)
+			}
+		}
+		return
+	}
+	if err := ro.decode[c.Replica-len(ro.prefill)].Restore(); err != nil {
+		ro.err = fmt.Errorf("fleet: restore of replica %d: %w", c.Replica, err)
+		return
+	}
+	if len(ro.pending) > 0 && !ro.drainScheduled {
+		ro.drainScheduled = true
+		ro.eng.AtFunc(ro.eng.Now(), drainPendingEvent, ro, 0, 0)
+	}
+}
+
+// drop abandons a request with a reason (idempotent).
+func (ro *disaggRouter) drop(origin int, reason string) {
+	if ro.droppedReason[origin] == "" {
+		ro.droppedReason[origin] = reason
+		ro.fstats.Dropped++
+	}
+}
+
 // assemble builds the merged disaggregated result: the conservation
 // check, the record merge across pools, and the aggregate report.
 func (ro *disaggRouter) assemble(cfg core.Config, dc DisaggConfig, results []*core.Result) (*DisaggResult, error) {
+	if ro.plan != nil {
+		return ro.assembleFaults(cfg, dc, results)
+	}
 	n := len(ro.reqs)
 	res := &DisaggResult{
 		Prefill:          results[:dc.PrefillReplicas],
@@ -448,6 +709,95 @@ func (ro *disaggRouter) assemble(cfg core.Config, dc DisaggConfig, results []*co
 		}
 		busy += rr.MeanUtilization * rr.Elapsed * float64(rr.GPUs)
 	}
+	if rep.Elapsed > 0 && rep.GPUs > 0 {
+		rep.MeanUtilization = busy / (rep.Elapsed * float64(rep.GPUs))
+	}
+	rep.BubbleRatio = 1 - rep.MeanUtilization
+	rep.Latency = metrics.Digest(records, cfg.SLO)
+	res.Report = rep
+	return res, nil
+}
+
+// assembleFaults builds the result of a fault-injected run. The
+// conservation invariant changes shape: instead of "every replica
+// completed exactly its shard", every trace request must have finished
+// terminally exactly once XOR carry a drop reason — nothing lost
+// silently, nothing double-finished, across any number of crashes and
+// re-dispatches.
+func (ro *disaggRouter) assembleFaults(cfg core.Config, dc DisaggConfig, results []*core.Result) (*DisaggResult, error) {
+	n := len(ro.reqs)
+	res := &DisaggResult{
+		Prefill:          results[:dc.PrefillReplicas],
+		Decode:           results[dc.PrefillReplicas:],
+		PrefillShards:    ro.pShards,
+		DecodeShards:     ro.dShards,
+		Handoffs:         ro.handoffs,
+		TransferredBytes: ro.moved,
+		QueuedHandoffs:   ro.queued,
+	}
+	finished := 0
+	for origin := 0; origin < n; origin++ {
+		switch f, dropped := ro.fin[origin], ro.droppedReason[origin] != ""; {
+		case f == 1 && !dropped:
+			finished++
+		case f == 0 && dropped:
+		case f > 1:
+			return nil, fmt.Errorf("fleet: request %d finished %d times across crashes", origin, f)
+		case dropped:
+			return nil, fmt.Errorf("fleet: request %d both finished and dropped (%s)", origin, ro.droppedReason[origin])
+		default:
+			return nil, fmt.Errorf("fleet: request %d lost without a drop reason (fin=%d)", origin, f)
+		}
+	}
+	records := make([]metrics.RequestRecord, n)
+	for origin, ref := range ro.final {
+		if ro.droppedReason[origin] != "" {
+			// Dropped: an unfinished zero record — it stays in the
+			// digest's denominator, so goodput pays for the loss.
+			records[origin] = metrics.RequestRecord{ID: origin, Arrival: ro.reqs[origin].ArrivalTime}
+			continue
+		}
+		pool := res.Prefill
+		if ref.decode {
+			pool = res.Decode
+		}
+		rec := pool[ref.replica].Records[ref.local]
+		rec.ID = origin
+		records[origin] = rec
+	}
+	res.Records = records
+
+	rep := metrics.Report{
+		Scheduler: fmt.Sprintf("DisaggFaults(TD-Pipe %dP+%dD)", dc.PrefillReplicas, dc.DecodeReplicas),
+		Node:      cfg.Node.Name,
+		Model:     cfg.Spec.Name,
+		GPUs:      cfg.World * (dc.PrefillReplicas + dc.DecodeReplicas),
+		Requests:  finished,
+	}
+	for origin, r := range ro.reqs {
+		if ro.droppedReason[origin] == "" {
+			rep.InputTokens += r.InputLen
+		}
+	}
+	for _, rec := range records {
+		rep.OutputTokens += rec.OutputTokens
+	}
+	var busy float64
+	for _, r := range results {
+		rr := r.Report
+		rep.PhaseSwitches += rr.PhaseSwitches
+		rep.Recomputes += rr.Recomputes
+		rep.PrefixCachedTokens += rr.PrefixCachedTokens
+		rep.Faults.Add(rr.Faults)
+		if rr.Elapsed > rep.Elapsed {
+			rep.Elapsed = rr.Elapsed
+		}
+		if rr.KVPeakUsage > rep.KVPeakUsage {
+			rep.KVPeakUsage = rr.KVPeakUsage
+		}
+		busy += rr.MeanUtilization * rr.Elapsed * float64(rr.GPUs)
+	}
+	rep.Faults.Add(ro.fstats)
 	if rep.Elapsed > 0 && rep.GPUs > 0 {
 		rep.MeanUtilization = busy / (rep.Elapsed * float64(rep.GPUs))
 	}

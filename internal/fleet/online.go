@@ -142,7 +142,11 @@ func (ro *onlineRouter) route(r workload.Request, origin int) {
 		return
 	}
 	cost := ro.policy.Cost(r)
-	local := ro.engines[k].Submit(r)
+	local, err := ro.engines[k].Submit(r)
+	if err != nil {
+		ro.err = fmt.Errorf("fleet: replica %d rejected request %d: %w", k, origin, err)
+		return
+	}
 	// Submit only schedules simulation events, so the finish hook
 	// cannot fire before the entry lands below.
 	ro.entries[k] = append(ro.entries[k], loadEntry{inputTokens: r.InputLen, cost: cost})

@@ -75,6 +75,11 @@ func (n Node) Validate() error {
 		return fmt.Errorf("hw: node %q has incomplete GPU spec %+v", n.Name, n.GPU)
 	case n.AllReduceGBps <= 0 || n.P2PGBps <= 0:
 		return fmt.Errorf("hw: node %q has incomplete interconnect spec", n.Name)
+	case n.P2PLatency < 0 || n.CollectiveLatency < 0:
+		return fmt.Errorf("hw: node %q has negative interconnect latency", n.Name)
+	case n.KVLinkGBps < 0 || n.KVLinkLatency < 0:
+		return fmt.Errorf("hw: node %q has negative KV link spec (%.3g GB/s, %.3g s); zero means 'fall back to P2P'",
+			n.Name, n.KVLinkGBps, n.KVLinkLatency)
 	}
 	return nil
 }
@@ -98,18 +103,26 @@ func (n Node) AllReduceTime(bytes float64, world int) float64 {
 }
 
 // P2PTime returns the time to move bytes from one GPU to a neighbour
-// through the switch.
+// through the switch. A node with no usable P2P bandwidth (rejected by
+// Validate, but reachable through hand-built configs) yields the fixed
+// latency alone rather than dividing by zero and propagating +Inf into
+// schedules.
 func (n Node) P2PTime(bytes float64) float64 {
 	if bytes <= 0 {
 		return 0
+	}
+	if n.P2PGBps <= 0 {
+		return n.P2PLatency
 	}
 	return n.P2PLatency + bytes/(n.P2PGBps*1e9)
 }
 
 // KVTransferTime returns the time to migrate bytes of KV cache to a
 // peer replica in a disaggregated prefill/decode hand-off: the fixed
-// link latency plus the payload over the KV-link bandwidth. Nodes
-// without an explicit KV link fall back to the P2P parameters.
+// link latency plus the payload over the KV-link bandwidth. The
+// fallback chain is: explicit KV link, else the P2P parameters, else
+// (no usable bandwidth anywhere — an unvalidated node) the applicable
+// fixed latency alone, so the result is always finite.
 func (n Node) KVTransferTime(bytes float64) float64 {
 	if bytes <= 0 {
 		return 0
@@ -117,6 +130,9 @@ func (n Node) KVTransferTime(bytes float64) float64 {
 	bw, lat := n.KVLinkGBps, n.KVLinkLatency
 	if bw <= 0 {
 		bw, lat = n.P2PGBps, n.P2PLatency
+	}
+	if bw <= 0 {
+		return lat
 	}
 	return lat + bytes/(bw*1e9)
 }

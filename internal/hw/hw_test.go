@@ -54,6 +54,21 @@ func TestValidate(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Error("interconnect-less node validated")
 	}
+	bad = L20
+	bad.P2PGBps = 0
+	if bad.Validate() == nil {
+		t.Error("node with zero P2P bandwidth validated")
+	}
+	bad = L20
+	bad.KVLinkGBps = -1
+	if bad.Validate() == nil {
+		t.Error("node with negative KV link bandwidth validated")
+	}
+	bad = L20
+	bad.P2PLatency = -1e-6
+	if bad.Validate() == nil {
+		t.Error("node with negative P2P latency validated")
+	}
 }
 
 func TestWithGPUs(t *testing.T) {
@@ -109,6 +124,23 @@ func TestKVTransferTime(t *testing.T) {
 	}
 	if !(TestNode.KVTransferTime(1e9) > 0) {
 		t.Error("test node transfer not positive")
+	}
+}
+
+// An unvalidated node with no bandwidth anywhere must still produce
+// finite times (the end of the fallback chain is latency-only), never
+// +Inf that would poison virtual-time schedules.
+func TestTransferTimesFiniteWithoutBandwidth(t *testing.T) {
+	n := Node{P2PLatency: 10e-6, KVLinkLatency: 50e-6}
+	if got := n.P2PTime(1e9); math.IsInf(got, 1) || math.IsNaN(got) || got != 10e-6 {
+		t.Errorf("bandwidth-less P2PTime = %v, want the bare latency", got)
+	}
+	if got := n.KVTransferTime(1e9); math.IsInf(got, 1) || math.IsNaN(got) || got != 10e-6 {
+		t.Errorf("bandwidth-less KVTransferTime = %v, want the P2P fallback latency", got)
+	}
+	n.KVLinkGBps = 25
+	if got := n.KVTransferTime(1e9); math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Errorf("KV-link-only transfer = %v, want finite", got)
 	}
 }
 

@@ -65,6 +65,24 @@ func (m *Manager) ExportKV(id int) (ExportedSeq, error) {
 	return ex, nil
 }
 
+// SnapshotKV returns sequence id's block window like ExportKV but
+// WITHOUT detaching it: the sequence stays allocated and decoding can
+// continue. This is the periodic-checkpoint primitive — a crash-safe
+// copy a recovery path can later feed to ImportKV on another manager.
+// The snapshot is immutable (keys are copied), so it stays valid as the
+// live sequence keeps appending past it.
+func (m *Manager) SnapshotKV(id int) (ExportedSeq, error) {
+	s, ok := m.seq(id)
+	if !ok {
+		return ExportedSeq{}, fmt.Errorf("kvcache: snapshot of unknown sequence %d", id)
+	}
+	return ExportedSeq{
+		Tokens:        s.tokens,
+		PrivateBlocks: s.blocks,
+		Keys:          append([]uint64(nil), s.keys...),
+	}, nil
+}
+
 // ResidentBlocks returns how many of ex's shared keys are resident in m
 // right now — blocks an import would reference instead of re-storing,
 // and KV a hand-off need not move again. Private blocks are never

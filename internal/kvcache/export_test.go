@@ -335,3 +335,46 @@ func FuzzExportImportRebase(f *testing.F) {
 		}
 	})
 }
+
+// SnapshotKV must capture the window without detaching the sequence:
+// the live sequence keeps appending, the snapshot stays importable into
+// a fresh manager at its captured length, and taking it perturbs no
+// observable state.
+func TestSnapshotKVNonDestructive(t *testing.T) {
+	m, err := NewManager(64*16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Allocate(0, 40); err != nil {
+		t.Fatal(err)
+	}
+	before := observe(m)
+	snap, err := m.SnapshotKV(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameObs(t, "after snapshot", observe(m), before)
+	if snap.Tokens != 40 || snap.Blocks() != m.BlocksFor(40) {
+		t.Fatalf("snapshot = %d tokens / %d blocks, want 40 / %d", snap.Tokens, snap.Blocks(), m.BlocksFor(40))
+	}
+	// The live sequence moves on; the snapshot must not.
+	if err := m.Append(0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tokens != 40 {
+		t.Fatalf("snapshot tokens moved to %d", snap.Tokens)
+	}
+	other, err := NewManager(64*16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.ImportKV(7, snap); err != nil {
+		t.Fatalf("import of snapshot: %v", err)
+	}
+	if !other.Has(7) {
+		t.Fatal("imported snapshot not resident")
+	}
+	if _, err := m.SnapshotKV(99); err == nil {
+		t.Fatal("snapshot of unknown sequence accepted")
+	}
+}

@@ -205,6 +205,53 @@ type Report struct {
 	// (the offline regime) TTFT and E2E include the whole-batch
 	// queueing delay from t=0.
 	Latency LatencyDigest
+
+	// Faults accounts injected failures and the recovery work they
+	// forced. All-zero (the default) for fault-free runs.
+	Faults FaultStats
+}
+
+// FaultStats accounts fault injection and recovery in one run. The
+// fields are plain scalars so reports stay comparable (and JSON
+// round-trips byte-identically in the determinism suite).
+type FaultStats struct {
+	// Crashes counts replica crash events executed.
+	Crashes int
+	// AbortedRequests counts in-flight requests lost to crashes
+	// (each re-dispatch that later crashes again counts once more).
+	AbortedRequests int
+	// Checkpoints counts periodic KV checkpoint rounds taken;
+	// CheckpointBytes is the KV volume they serialized.
+	Checkpoints     int
+	CheckpointBytes float64
+	// RecoveredRecompute counts crash-lost requests resumed by
+	// re-prefilling input+generated tokens from scratch;
+	// RecoveredCheckpoint counts those resumed from a periodic KV
+	// checkpoint instead.
+	RecoveredRecompute  int
+	RecoveredCheckpoint int
+	// Dropped counts requests abandoned with a reason (retry budget
+	// exhausted, or unplaceable when the run drained).
+	Dropped int
+	// LostOutputTokens sums output tokens that were resident on a
+	// replica when it crashed — generation work recovery must redo
+	// (checkpoint resumes redo only the post-checkpoint suffix).
+	LostOutputTokens int
+}
+
+// Any reports whether any fault activity was recorded.
+func (f FaultStats) Any() bool { return f != FaultStats{} }
+
+// Add accumulates o into f (fleet-level merges).
+func (f *FaultStats) Add(o FaultStats) {
+	f.Crashes += o.Crashes
+	f.AbortedRequests += o.AbortedRequests
+	f.Checkpoints += o.Checkpoints
+	f.CheckpointBytes += o.CheckpointBytes
+	f.RecoveredRecompute += o.RecoveredRecompute
+	f.RecoveredCheckpoint += o.RecoveredCheckpoint
+	f.Dropped += o.Dropped
+	f.LostOutputTokens += o.LostOutputTokens
 }
 
 // OutputThroughput returns generated tokens per second, the paper's

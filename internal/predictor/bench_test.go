@@ -12,7 +12,10 @@ import (
 func BenchmarkTrain(b *testing.B) {
 	b.ReportAllocs()
 	reqs := workload.MustGenerate(workload.DefaultConfig(5000, 1))
-	train, _, _ := workload.Split(reqs, 0.6, 0.2)
+	train, _, _, err := workload.Split(reqs, 0.6, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Train(train, DefaultTrainConfig()); err != nil {
@@ -26,7 +29,10 @@ func BenchmarkTrain(b *testing.B) {
 func BenchmarkPredictLen(b *testing.B) {
 	b.ReportAllocs()
 	reqs := workload.MustGenerate(workload.DefaultConfig(4000, 1))
-	train, _, test := workload.Split(reqs, 0.6, 0.2)
+	train, _, test, err := workload.Split(reqs, 0.6, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
 	c, err := Train(train, DefaultTrainConfig())
 	if err != nil {
 		b.Fatal(err)

@@ -10,7 +10,10 @@ import (
 func trainedClassifier(t *testing.T, n int, seed int64) (*Classifier, []workload.Request, []workload.Request) {
 	t.Helper()
 	reqs := workload.MustGenerate(workload.DefaultConfig(n, seed))
-	train, _, test := workload.Split(reqs, 0.6, 0.2)
+	train, _, test, err := workload.Split(reqs, 0.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c, err := Train(train, DefaultTrainConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +175,10 @@ func TestCalibrationUnbiased(t *testing.T) {
 
 func TestTrainDeterministic(t *testing.T) {
 	reqs := workload.MustGenerate(workload.DefaultConfig(2000, 5))
-	train, _, test := workload.Split(reqs, 0.6, 0.2)
+	train, _, test, err := workload.Split(reqs, 0.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c1, err := Train(train, DefaultTrainConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -56,6 +56,12 @@ type Cluster struct {
 	// passFree heads the recycled pass-state free list; completed
 	// passes return here instead of the garbage collector.
 	passFree *pass
+
+	// slowdown scales every stage's compute time (straggler modeling
+	// for fault injection). Zero or one means nominal speed; the
+	// nominal path never touches the multiplication, so fault-free
+	// schedules stay bit-identical.
+	slowdown float64
 }
 
 // NewCluster builds a world-size pipeline over the node's GPUs using the
@@ -109,6 +115,34 @@ func NewClusterTransport(eng *sim.Engine, node hw.Node, spec model.Spec, world i
 
 // World returns the pipeline depth.
 func (c *Cluster) World() int { return len(c.Workers) }
+
+// SetSlowdown scales all subsequent stage compute times by f — the
+// straggler knob of fault injection (f > 1 slows the node down). f <= 0
+// or f == 1 restores nominal speed. Call before the simulation runs for
+// a static straggler, or mid-run to model degradation windows.
+func (c *Cluster) SetSlowdown(f float64) {
+	if f == 1 {
+		f = 0
+	}
+	c.slowdown = f
+}
+
+// Stall makes every GPU unavailable for dur seconds starting no earlier
+// than at (later if a pass holds the device), without counting the span
+// as busy compute — downtime, not work. Crash/restart and checkpoint
+// serialization use it to push subsequent passes out in time.
+func (c *Cluster) Stall(at sim.Time, dur float64) {
+	if dur <= 0 {
+		return
+	}
+	for _, g := range c.GPUs {
+		from := g.FreeAt()
+		if at > from {
+			from = at
+		}
+		g.Occupy(from + sim.Time(dur))
+	}
+}
 
 // Shutdown stops all workers (a no-op for direct endpoints, a goroutine
 // join for mailbox workers).
@@ -228,6 +262,9 @@ func (c *Cluster) runStage(p *pass, st int, arrival sim.Time) {
 		er = c.execDecode(st, p.decode)
 	} else {
 		er = c.exec(st, p.task(st))
+	}
+	if c.slowdown > 0 {
+		er.Dur *= c.slowdown
 	}
 	start, end := c.GPUs[st].Acquire(arrival, er.Dur, nil)
 	if st == 0 {

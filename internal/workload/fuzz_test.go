@@ -60,7 +60,10 @@ func FuzzGenerateSplitInvariants(f *testing.F) {
 		if trainFrac+valFrac > 1 {
 			valFrac = 1 - trainFrac
 		}
-		train, val, test := Split(reqs, trainFrac, valFrac)
+		train, val, test, err := Split(reqs, trainFrac, valFrac)
+		if err != nil {
+			t.Fatalf("split %v/%v: %v", trainFrac, valFrac, err)
+		}
 		if len(train)+len(val)+len(test) != n {
 			t.Fatalf("split %d+%d+%d != %d", len(train), len(val), len(test), n)
 		}

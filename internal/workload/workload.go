@@ -158,12 +158,27 @@ func MustGenerate(cfg Config) []Request {
 }
 
 // Split partitions a trace into train/validation/test subsets by the
-// given fractions, preserving order (the paper uses 60/20/20).
-func Split(reqs []Request, trainFrac, valFrac float64) (train, val, test []Request) {
+// given fractions, preserving order (the paper uses 60/20/20). The
+// fractions must be non-negative and sum to at most 1; the test split
+// receives whatever remains. Counts are truncated, then clamped so the
+// three subsets always concatenate back to the input exactly —
+// float64(n)*frac can land a hair above n for frac sums near 1, which
+// used to slice out of range.
+func Split(reqs []Request, trainFrac, valFrac float64) (train, val, test []Request, err error) {
+	if math.IsNaN(trainFrac) || math.IsNaN(valFrac) || trainFrac < 0 || valFrac < 0 || trainFrac+valFrac > 1 {
+		return nil, nil, nil, fmt.Errorf("workload: split fractions %v/%v (need non-negative, sum <= 1)",
+			trainFrac, valFrac)
+	}
 	n := len(reqs)
 	nt := int(float64(n) * trainFrac)
+	if nt > n {
+		nt = n
+	}
 	nv := int(float64(n) * valFrac)
-	return reqs[:nt], reqs[nt : nt+nv], reqs[nt+nv:]
+	if nv > n-nt {
+		nv = n - nt
+	}
+	return reqs[:nt], reqs[nt : nt+nv], reqs[nt+nv:], nil
 }
 
 // Sample draws k requests without replacement (deterministic for a

@@ -109,12 +109,70 @@ func TestValidate(t *testing.T) {
 
 func TestSplitFractions(t *testing.T) {
 	reqs := MustGenerate(DefaultConfig(1000, 9))
-	train, val, test := Split(reqs, 0.6, 0.2)
+	train, val, test, err := Split(reqs, 0.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(train) != 600 || len(val) != 200 || len(test) != 200 {
 		t.Errorf("split sizes = %d/%d/%d", len(train), len(val), len(test))
 	}
 	if train[0].ID != reqs[0].ID || test[199].ID != reqs[999].ID {
 		t.Error("split reordered requests")
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	cases := []struct {
+		name               string
+		n                  int
+		trainFrac, valFrac float64
+		wantErr            bool
+		// wantTrain/wantVal are checked only when wantErr is false;
+		// test always gets the remainder.
+		wantTrain, wantVal int
+	}{
+		{name: "exact thirds", n: 9, trainFrac: 1.0 / 3, valFrac: 1.0 / 3, wantTrain: 3, wantVal: 3},
+		{name: "all train", n: 10, trainFrac: 1, valFrac: 0, wantTrain: 10, wantVal: 0},
+		{name: "all val", n: 10, trainFrac: 0, valFrac: 1, wantTrain: 0, wantVal: 10},
+		{name: "empty trace", n: 0, trainFrac: 0.6, valFrac: 0.2},
+		{name: "single request", n: 1, trainFrac: 0.6, valFrac: 0.2, wantTrain: 0, wantVal: 0},
+		// 0.7+0.3 sums to 1 within float64 but 7*0.7 truncates to 4
+		// and 7*0.3 to 2: clamping must still cover the trace.
+		{name: "truncating fractions", n: 7, trainFrac: 0.7, valFrac: 0.3, wantTrain: 4, wantVal: 2},
+		{name: "negative train", n: 10, trainFrac: -0.1, valFrac: 0.2, wantErr: true},
+		{name: "negative val", n: 10, trainFrac: 0.6, valFrac: -0.2, wantErr: true},
+		{name: "sum above one", n: 10, trainFrac: 0.8, valFrac: 0.3, wantErr: true},
+		{name: "NaN fraction", n: 10, trainFrac: math.NaN(), valFrac: 0.2, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var reqs []Request
+			if tc.n > 0 {
+				reqs = MustGenerate(DefaultConfig(tc.n, 3))
+			}
+			train, val, test, err := Split(reqs, tc.trainFrac, tc.valFrac)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Split(%v, %v) accepted", tc.trainFrac, tc.valFrac)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Split(%v, %v): %v", tc.trainFrac, tc.valFrac, err)
+			}
+			if len(train)+len(val)+len(test) != tc.n {
+				t.Fatalf("split %d+%d+%d != %d", len(train), len(val), len(test), tc.n)
+			}
+			if len(train) != tc.wantTrain || len(val) != tc.wantVal {
+				t.Errorf("split sizes = %d/%d/%d, want %d/%d/%d", len(train), len(val), len(test),
+					tc.wantTrain, tc.wantVal, tc.n-tc.wantTrain-tc.wantVal)
+			}
+			for i, r := range append(append(append([]Request(nil), train...), val...), test...) {
+				if r.ID != i {
+					t.Fatalf("split request at position %d has ID %d", i, r.ID)
+				}
+			}
+		})
 	}
 }
 

@@ -20,6 +20,7 @@ package tdpipe
 import (
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/metrics"
@@ -209,6 +210,61 @@ func RunDisagg(cfg Config, dc DisaggConfig, reqs []Request) (*DisaggResult, erro
 	return fleet.RunDisagg(cfg, dc, reqs)
 }
 
+// Fault-injection aliases: seeded failure plans for fleet runs.
+type (
+	// FaultConfig parameterizes a seeded fault plan: crash MTBF and
+	// restart delay, straggler count and slowdown, KV-link impairment
+	// windows, and the periodic KV checkpoint cadence.
+	FaultConfig = faults.Config
+	// FaultPlan is a fully materialized, deterministic failure schedule
+	// drawn from a FaultConfig seed.
+	FaultPlan = faults.Plan
+	// FaultStats is the recovery accounting attached to Report.Faults.
+	FaultStats = metrics.FaultStats
+)
+
+// NewFaultPlan draws the deterministic failure schedule for a fleet of
+// replicas: per-replica crash instants (each outage lasting downtime),
+// straggler assignments and KV-link impairment windows. The same config
+// and replica count always yield the same plan.
+func NewFaultPlan(cfg FaultConfig, replicas int, downtime float64) (*FaultPlan, error) {
+	return faults.NewPlan(cfg, replicas, downtime)
+}
+
+// FaultWeightReloadTime models the per-crash weight-reload cost: the
+// time to pull the largest pipeline stage's weights back over the
+// node's host link. Add it to the process restart delay to size a
+// plan's downtime.
+func FaultWeightReloadTime(node Node, spec ModelSpec, world int) float64 {
+	return faults.WeightReloadTime(node, spec, world)
+}
+
+// RunFleetFaults serves an arrival-stamped trace on the online fleet
+// router while executing the plan's failures: crashed replicas abort
+// their in-flight requests, routing skips dead replicas, and aborted
+// work is re-dispatched (recompute, or resumed from the latest periodic
+// KV checkpoint when cfg.CheckpointInterval is set) under the plan's
+// retry budget. Requests that exhaust it are dropped with a reason and
+// accounted in Report.Faults; every trace request ends exactly once
+// finished or dropped. An inactive plan (nil, or one scheduling no
+// failures) takes the exact fault-free RunOnline code path.
+func RunFleetFaults(cfg Config, replicas int, policy string, reqs []Request, plan *FaultPlan) (*FleetResult, error) {
+	p, err := fleet.New(policy, fleet.Options{Seed: 1, Predictor: cfg.Predictor})
+	if err != nil {
+		return nil, err
+	}
+	return fleet.RunOnlineFaults(cfg, replicas, p, reqs, plan)
+}
+
+// RunDisaggFaults is RunDisagg under a fault plan: pool replicas crash
+// and recover as in RunFleetFaults (plan replica indices cover the
+// prefill pool first, then decode), and the plan's KV-link windows
+// stretch or cut the prefill-to-decode hand-off transfers. A nil or
+// inactive plan takes the exact RunDisagg code path.
+func RunDisaggFaults(cfg Config, dc DisaggConfig, reqs []Request, plan *FaultPlan) (*DisaggResult, error) {
+	return fleet.RunDisaggFaults(cfg, dc, reqs, plan)
+}
+
 // NewBaselineConfig returns a vLLM-like configuration for one of the
 // four baselines.
 func NewBaselineConfig(node Node, spec ModelSpec, world int, m BaselineMethod) baselines.Config {
@@ -234,7 +290,10 @@ func NewTrace(n int, seed int64) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, val, test := workload.Split(reqs, 0.6, 0.2)
+	tr, val, test, err := workload.Split(reqs, 0.6, 0.2)
+	if err != nil {
+		return nil, err
+	}
 	return &Trace{All: reqs, Train: tr, Val: val, Test: test}, nil
 }
 
@@ -266,6 +325,9 @@ func GenerateTrace(cfg TraceConfig) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, val, test := workload.Split(reqs, 0.6, 0.2)
+	tr, val, test, err := workload.Split(reqs, 0.6, 0.2)
+	if err != nil {
+		return nil, err
+	}
 	return &Trace{All: reqs, Train: tr, Val: val, Test: test}, nil
 }

@@ -131,6 +131,70 @@ func TestFacadeOnlineServing(t *testing.T) {
 	}
 }
 
+// The facade's fault-injection path: a seeded plan drawn through
+// NewFaultPlan injects crashes into RunFleetFaults, recovery accounting
+// lands in Report.Faults, conservation holds (finished + dropped covers
+// the trace), and an inactive plan reproduces the fault-free run
+// exactly.
+func TestFacadeFaultInjection(t *testing.T) {
+	trace, err := NewTrace(3000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(A100, Llama2_70B, 4)
+	cfg.SLO = DefaultSLO()
+	reqs := trace.Sample(300, 3)
+	stamped, err := StampArrivals(reqs, ArrivalConfig{Kind: ArrivalPoisson, Rate: 6, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := RunFleetFaults(cfg, 3, FleetLeastWork, stamped, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report.Faults.Any() {
+		t.Errorf("nil plan injected faults: %+v", base.Report.Faults)
+	}
+
+	horizon := base.Report.Elapsed
+	fc := FaultConfig{
+		Seed:               5,
+		Horizon:            horizon,
+		MTBF:               horizon / 2,
+		RestartDelay:       horizon / 20,
+		CheckpointInterval: horizon / 8,
+	}
+	downtime := fc.RestartDelay + FaultWeightReloadTime(A100, Llama2_70B, 4)
+	plan, err := NewFaultPlan(fc, 3, downtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFleetFaults(cfg, 3, FleetLeastWork, stamped, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Report.Faults
+	if f.Crashes != len(plan.Crashes) {
+		t.Errorf("executed %d of %d planned crashes", f.Crashes, len(plan.Crashes))
+	}
+	if got := res.Report.Requests + f.Dropped; got != len(stamped) {
+		t.Errorf("finished %d + dropped %d != %d requests", res.Report.Requests, f.Dropped, len(stamped))
+	}
+
+	again, err := RunFleetFaults(cfg, 3, FleetLeastWork, stamped, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report != again.Report {
+		t.Errorf("fault run not deterministic:\n%v\n%v", res.Report, again.Report)
+	}
+
+	if _, err := NewFaultPlan(FaultConfig{MTBF: -1}, 3, 0); err == nil {
+		t.Error("invalid fault config accepted")
+	}
+}
+
 func TestFacadeCatalog(t *testing.T) {
 	if L20.GPU.MemGB != 48 || A100.GPU.MemGB != 80 {
 		t.Error("node catalog wrong")
