@@ -26,9 +26,15 @@ test:
 	$(GO) test ./...
 
 # The fleet layer runs engine replicas on real goroutines; race-check it
-# together with the engine it drives.
+# together with the engine it drives. The second leg re-runs the
+# parallel-fabric determinism suite under the detector with the worker
+# pool forced on (multi-worker online, disagg, prefix and fault runs,
+# plus the cross-shard-boundary property), since those tests are the
+# only ones that exercise coordinator/worker hand-off on every code
+# path.
 race:
 	$(GO) test -race ./internal/fleet/... ./internal/core/...
+	$(GO) test -race -count=1 -run 'TestParallel' ./internal/fleet/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
@@ -50,7 +56,7 @@ OLD ?= BENCH_base.json
 NEW ?= BENCH_local.json
 THRESHOLD ?= 15
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) $(OLD) $(NEW)
+	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) -geomean $(OLD) $(NEW)
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGenerateSplitInvariants -fuzztime=$(FUZZTIME) ./internal/workload/
@@ -60,8 +66,12 @@ fuzz:
 # hand-off path (prefill pool -> KV export -> modeled transfer ->
 # import -> continuous-batching decode) and the crash/recovery path
 # (seeded fault plan -> abort -> re-dispatch/checkpoint resume ->
-# conservation) so neither -exp surface can rot unnoticed.
+# conservation) so neither -exp surface can rot unnoticed. The second
+# run repeats both experiments with the parallel fabric's worker pool
+# forced on (-workers 4), exercising the sharded epoch scheduler
+# through the same CLI surface.
 smoke:
 	$(GO) run ./cmd/tdpipe -exp disagg,faults -requests 250 -pool 2000
+	$(GO) run ./cmd/tdpipe -exp disagg,faults -requests 250 -pool 2000 -workers 4
 
 ci: build vet test race smoke

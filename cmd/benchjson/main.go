@@ -7,13 +7,14 @@
 //
 //	go test -bench=. -benchmem -run='^$' ./... | benchjson > BENCH_1.json
 //	benchjson -compare old.json new.json
-//	benchjson -compare -threshold 10 old.json new.json
+//	benchjson -compare -threshold 10 -geomean old.json new.json
 //
 // The snapshot maps benchmark name (GOMAXPROCS suffix stripped) to its
-// metrics:
+// metrics; the custom steps/s metric emitted by the fleet benchmarks
+// is captured when present:
 //
 //	{"benchmarks": {"BenchmarkOnlineFleet": {"ns_per_op": 123456,
-//	  "bytes_per_op": 7890, "allocs_per_op": 12}}}
+//	  "bytes_per_op": 7890, "allocs_per_op": 12, "steps_per_sec": 3.2e6}}}
 //
 // In -compare mode the two snapshots are diffed per benchmark and the
 // exit status is non-zero when any shared benchmark regresses more
@@ -30,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -38,11 +40,15 @@ import (
 
 // Metrics is one benchmark's parsed result line. The memory fields are
 // serialized even when zero: "0 allocs/op" is a measurement worth
-// diffing against, not an absence.
+// diffing against, not an absence. StepsPerSec is the custom
+// simulator-throughput metric reported by the fleet benchmarks
+// (b.ReportMetric(..., "steps/s")); most benchmarks don't emit it, so
+// it is omitted when absent.
 type Metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
 }
 
 // Snapshot is the file layout: a map so downstream tooling can diff
@@ -83,6 +89,8 @@ func parseLine(line string) (string, Metrics, bool) {
 			m.BytesPerOp = v
 		case "allocs/op":
 			m.AllocsPerOp = v
+		case "steps/s":
+			m.StepsPerSec = v
 		}
 	}
 	return name, m, seen
@@ -117,15 +125,16 @@ func pct(old, new float64) float64 {
 // regress: new benchmarks, removed benchmarks and zero baselines are
 // reported on their own lines and never affect the count, so the exit
 // status tracks genuine regressions only.
-func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64) (regressed int) {
+func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64, geomean bool) (regressed int) {
 	names := make([]string, 0, len(newSnap.Benchmarks))
 	for name := range newSnap.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	fmt.Fprintf(w, "%-55s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	fmt.Fprintf(w, "%-55s %14s %14s %8s %10s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs", "steps/s")
 	added, baselineless := 0, 0
+	logSum, logN := 0.0, 0
 	for _, name := range names {
 		n := newSnap.Benchmarks[name]
 		o, ok := oldSnap.Benchmarks[name]
@@ -138,13 +147,22 @@ func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64)
 			fmt.Fprintf(w, "%-55s %14s %14.0f %8s %10.0f\n", name, "(no baseline)", n.NsPerOp, "", n.AllocsPerOp)
 		default:
 			d := pct(o.NsPerOp, n.NsPerOp)
+			logSum += math.Log(n.NsPerOp / o.NsPerOp)
+			logN++
 			mark := ""
 			if d > threshold {
 				mark = "  << REGRESSION"
 				regressed++
 			}
-			fmt.Fprintf(w, "%-55s %14.0f %14.0f %+7.1f%% %5.0f→%-5.0f%s\n",
-				name, o.NsPerOp, n.NsPerOp, d, o.AllocsPerOp, n.AllocsPerOp, mark)
+			// Simulator throughput is diffed alongside ns/op when both
+			// snapshots report it: a drop in steps/s without a matching
+			// ns/op regression points at the workload, not the kernel.
+			steps := ""
+			if o.StepsPerSec > 0 && n.StepsPerSec > 0 {
+				steps = fmt.Sprintf("%+9.1f%%", pct(o.StepsPerSec, n.StepsPerSec))
+			}
+			fmt.Fprintf(w, "%-55s %14.0f %14.0f %+7.1f%% %5.0f→%-5.0f %10s%s\n",
+				name, o.NsPerOp, n.NsPerOp, d, o.AllocsPerOp, n.AllocsPerOp, steps, mark)
 		}
 	}
 	removed := make([]string, 0)
@@ -161,6 +179,15 @@ func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64)
 		fmt.Fprintf(w, "\n%d new, %d removed, %d without baseline (reported only; never fail the gate)\n",
 			added, len(removed), baselineless)
 	}
+	if geomean && logN > 0 {
+		// Geometric mean of per-benchmark new/old ns/op ratios over the
+		// shared set — the one-number summary of the run (1.00 = flat,
+		// <1 faster, >1 slower). The geomean weights every benchmark
+		// equally regardless of absolute ns/op scale.
+		ratio := math.Exp(logSum / float64(logN))
+		fmt.Fprintf(w, "\ngeomean ns/op ratio: %.3fx over %d shared benchmark(s) (%+.1f%%)\n",
+			ratio, logN, 100*(ratio-1))
+	}
 	if regressed > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressed, threshold)
 	} else {
@@ -171,7 +198,7 @@ func compareSnapshots(w io.Writer, oldSnap, newSnap Snapshot, threshold float64)
 
 // compareFiles loads and diffs two snapshot files, returning the
 // process exit code.
-func compareFiles(oldPath, newPath string, threshold float64) int {
+func compareFiles(oldPath, newPath string, threshold float64, geomean bool) int {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -182,7 +209,7 @@ func compareFiles(oldPath, newPath string, threshold float64) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
-	if compareSnapshots(os.Stdout, oldSnap, newSnap, threshold) > 0 {
+	if compareSnapshots(os.Stdout, oldSnap, newSnap, threshold, geomean) > 0 {
 		return 1
 	}
 	return 0
@@ -191,14 +218,15 @@ func compareFiles(oldPath, newPath string, threshold float64) int {
 func main() {
 	compare := flag.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of parsing stdin")
 	threshold := flag.Float64("threshold", 15, "ns/op regression percentage that fails -compare")
+	geomean := flag.Bool("geomean", false, "with -compare, print the geomean new/old ns/op ratio over shared benchmarks")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold pct] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold pct] [-geomean] old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *threshold, *geomean))
 	}
 
 	snap := Snapshot{Benchmarks: map[string]Metrics{}}

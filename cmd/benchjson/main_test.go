@@ -85,7 +85,7 @@ func TestCompareSnapshots(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var sb strings.Builder
-			got := compareSnapshots(&sb, snap(tc.old), snap(tc.new), 15)
+			got := compareSnapshots(&sb, snap(tc.old), snap(tc.new), 15, false)
 			if got != tc.wantRegressed {
 				t.Errorf("regressed = %d, want %d\n%s", got, tc.wantRegressed, sb.String())
 			}
@@ -100,6 +100,53 @@ func TestCompareSnapshots(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestParseLineStepsPerSec(t *testing.T) {
+	name, m, ok := parseLine("BenchmarkOnlineFleetParallel/workers=8   2   885749488 ns/op   3405600 steps/s   247419220 B/op   127769 allocs/op")
+	if !ok || name != "BenchmarkOnlineFleetParallel/workers=8" {
+		t.Fatalf("parse = %q, %v", name, ok)
+	}
+	if m.StepsPerSec != 3405600 {
+		t.Errorf("StepsPerSec = %v, want 3405600", m.StepsPerSec)
+	}
+}
+
+// steps/s deltas ride along in the compare table when both snapshots
+// report the metric; missing steps/s on either side leaves the column
+// blank instead of fabricating a delta.
+func TestCompareStepsPerSecDelta(t *testing.T) {
+	mk := func(ns, steps float64) Snapshot {
+		return Snapshot{Benchmarks: map[string]Metrics{
+			"BenchmarkA": {NsPerOp: ns, StepsPerSec: steps},
+		}}
+	}
+	var sb strings.Builder
+	compareSnapshots(&sb, mk(100, 1000), mk(100, 1200), 15, false)
+	if !strings.Contains(sb.String(), "+20.0%") {
+		t.Errorf("steps/s delta missing:\n%s", sb.String())
+	}
+	sb.Reset()
+	compareSnapshots(&sb, mk(100, 0), mk(100, 1200), 15, false)
+	if strings.Contains(sb.String(), "+Inf") || strings.Contains(sb.String(), "NaN") {
+		t.Errorf("missing baseline steps/s produced a bogus delta:\n%s", sb.String())
+	}
+}
+
+func TestCompareGeomean(t *testing.T) {
+	oldSnap := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100})
+	newSnap := snap(map[string]float64{"BenchmarkA": 50, "BenchmarkB": 200})
+	var sb strings.Builder
+	compareSnapshots(&sb, oldSnap, newSnap, 1000, true)
+	// ratios 0.5 and 2.0 → geomean exactly 1.000
+	if !strings.Contains(sb.String(), "geomean ns/op ratio: 1.000x over 2 shared benchmark(s)") {
+		t.Errorf("geomean line missing or wrong:\n%s", sb.String())
+	}
+	sb.Reset()
+	compareSnapshots(&sb, oldSnap, newSnap, 1000, false)
+	if strings.Contains(sb.String(), "geomean") {
+		t.Errorf("geomean printed without the flag:\n%s", sb.String())
 	}
 }
 

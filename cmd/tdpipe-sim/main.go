@@ -95,6 +95,7 @@ type options struct {
 	oracle   bool
 	replicas int
 	policy   string
+	workers  int
 	arrivals string
 	rate     float64
 	slo      metrics.SLO
@@ -177,6 +178,7 @@ func realMain() int {
 	flag.BoolVar(&o.oracle, "oracle", false, "use the oracle length predictor instead of the trained classifier")
 	flag.IntVar(&o.replicas, "replicas", 1, "data-parallel TD-Pipe replicas (fleet mode when > 1)")
 	flag.StringVar(&o.policy, "policy", fleet.RoundRobin, "fleet dispatch policy: "+strings.Join(fleet.Names(), ", "))
+	flag.IntVar(&o.workers, "workers", 0, "fleet simulation workers: 0 or 1 sequential, -1 auto (GOMAXPROCS on fleets of 16+ replicas); reports are byte-identical across counts")
 	flag.StringVar(&o.arrivals, "arrivals", workload.ArrivalInstant,
 		"arrival process: "+strings.Join(workload.ArrivalKinds(), ", "))
 	flag.Float64Var(&o.rate, "rate", 0, "mean arrival rate in requests/s (required unless -arrivals instant)")
@@ -306,23 +308,30 @@ func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Re
 		return err
 	}
 	var res *fleet.Result
+	start := time.Now()
 	if fc := o.faultConfig(); fc.Enabled() {
 		downtime := o.restartDelay + faults.WeightReloadTime(node, spec, o.gpus)
 		plan, err := faults.NewPlan(fc, o.replicas, downtime)
 		if err != nil {
 			return err
 		}
-		res, err = fleet.RunOnlineFaults(cfg, o.replicas, p, reqs, plan)
+		res, err = fleet.RunOnlineFaultsWorkers(cfg, o.replicas, p, reqs, plan, o.workers)
 		if err != nil {
 			return err
 		}
 	} else if open {
-		res, err = fleet.RunOnline(cfg, o.replicas, p, reqs)
+		res, err = fleet.RunOnlineWorkers(cfg, o.replicas, p, reqs, o.workers)
 	} else {
 		res, err = fleet.Run(cfg, o.replicas, p, reqs)
 	}
+	wall := time.Since(start)
 	if err != nil {
 		return err
+	}
+	if res.Steps > 0 && wall > 0 {
+		fmt.Printf("kernel: %d events in %v (%.0f steps/s, %d workers)\n",
+			res.Steps, wall.Round(time.Millisecond), float64(res.Steps)/wall.Seconds(),
+			fleet.ResolveWorkers(o.workers, o.replicas))
 	}
 	for i, rr := range res.Replicas {
 		fmt.Printf("replica %d: %d reqs, %.1fs, %.0f tok/s out, util %.1f%%\n",
@@ -369,9 +378,10 @@ func runDisagg(o options, node hw.Node, spec model.Spec, pool, reqs []workload.R
 		}
 		cfg.Predictor = clf
 	}
-	dc := fleet.DisaggConfig{PrefillReplicas: o.prefillReplicas, DecodeReplicas: o.decodeReplicas}
+	dc := fleet.DisaggConfig{PrefillReplicas: o.prefillReplicas, DecodeReplicas: o.decodeReplicas, Workers: o.workers}
 	var res *fleet.DisaggResult
 	var err error
+	start := time.Now()
 	if fc := o.faultConfig(); fc.Enabled() {
 		downtime := o.restartDelay + faults.WeightReloadTime(node, spec, o.gpus)
 		plan, perr := faults.NewPlan(fc, dc.PrefillReplicas+dc.DecodeReplicas, downtime)
@@ -382,8 +392,14 @@ func runDisagg(o options, node hw.Node, spec model.Spec, pool, reqs []workload.R
 	} else {
 		res, err = fleet.RunDisagg(cfg, dc, reqs)
 	}
+	wall := time.Since(start)
 	if err != nil {
 		return err
+	}
+	if res.Steps > 0 && wall > 0 {
+		fmt.Printf("kernel: %d events in %v (%.0f steps/s, %d workers)\n",
+			res.Steps, wall.Round(time.Millisecond), float64(res.Steps)/wall.Seconds(),
+			fleet.ResolveWorkers(o.workers, dc.PrefillReplicas+dc.DecodeReplicas))
 	}
 	for i, rr := range res.Prefill {
 		fmt.Printf("prefill %d: %d reqs, %.1fs, %.0f tok/s total, util %.1f%%\n",
@@ -465,6 +481,7 @@ func run(o options) error {
 	// pair is fixed) and the disagg flags do nothing without it. Reject
 	// either mismatch rather than silently substitute defaults.
 	var fleetFlags, disaggFlags, linkFlags []string
+	workersSet := false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "replicas", "policy":
@@ -473,12 +490,17 @@ func run(o options) error {
 			disaggFlags = append(disaggFlags, "-"+f.Name)
 		case "link-degrade-frac", "link-degrade-factor", "link-partition-frac":
 			linkFlags = append(linkFlags, "-"+f.Name)
+		case "workers":
+			workersSet = true
 		}
 	})
 	if len(linkFlags) > 0 && !o.disagg {
 		return fmt.Errorf("%s model the KV hand-off link and only take effect with -disagg", strings.Join(linkFlags, ", "))
 	}
 	fc := o.faultConfig()
+	if workersSet && !o.disagg && (o.replicas <= 1 || (!open && !fc.Enabled())) {
+		return fmt.Errorf("-workers parallelizes the co-simulated serving paths: it needs -disagg, or -replicas > 1 with open-loop arrivals or fault injection (offline fleet runs already simulate replicas concurrently)")
+	}
 	if (fc.MTBF > 0 || fc.LinkDegradeFrac > 0 || fc.LinkPartitionFrac > 0) && fc.Horizon <= 0 {
 		return fmt.Errorf("-mtbf and the -link-* impairments need -fault-horizon to bound when failures can land")
 	}

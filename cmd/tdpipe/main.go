@@ -38,6 +38,7 @@ func main() {
 		pool     = flag.Int("pool", 0, "corpus size (default: quick scale)")
 		seed     = flag.Int64("seed", 1, "trace seed")
 		paper    = flag.Bool("paper", false, "use paper-scale options (86,612-pair corpus, 5,000 requests)")
+		workers  = flag.Int("workers", 0, "fleet simulation workers for the co-simulated experiments (0/1 sequential, -1 auto); results are byte-identical across counts")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		opts.PoolSize = *pool
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	if err := run(*exp, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "tdpipe:", err)

@@ -85,14 +85,16 @@ func Disagg(e *Env) ([]DisaggRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		colo, err := fleet.RunOnline(cfg, disaggReplicas, p, open)
+		colo, err := fleet.RunOnlineWorkers(cfg, disaggReplicas, p, open, e.Opts.Workers)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, DisaggRow{Load: load, Split: "colocated", Rate: rate, Report: colo.Report})
 
 		for _, dc := range disaggSplits {
-			res, err := fleet.RunDisagg(cfg, dc, open)
+			wdc := dc
+			wdc.Workers = e.Opts.Workers
+			res, err := fleet.RunDisagg(cfg, wdc, open)
 			if err != nil {
 				return nil, err
 			}

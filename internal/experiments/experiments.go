@@ -22,6 +22,11 @@ type Options struct {
 	Requests int
 	// Seed drives trace generation and sampling.
 	Seed int64
+	// Workers parallelizes the co-simulated fleet paths (online,
+	// disagg, faults) across goroutines: 0 or 1 runs sequentially,
+	// fleet.WorkersAuto picks GOMAXPROCS on large fleets. Results are
+	// byte-identical across worker counts.
+	Workers int
 }
 
 // Quick returns a scaled-down configuration for tests and benchmarks.

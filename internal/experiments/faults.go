@@ -70,7 +70,7 @@ func Faults(e *Env) ([]FaultsRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	control, err := fleet.RunOnline(cfg, faultsReplicas, p, open)
+	control, err := fleet.RunOnlineWorkers(cfg, faultsReplicas, p, open, e.Opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +100,7 @@ func Faults(e *Env) ([]FaultsRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := fleet.RunOnlineFaults(cfg, faultsReplicas, p, open, plan)
+			res, err := fleet.RunOnlineFaultsWorkers(cfg, faultsReplicas, p, open, plan, e.Opts.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -127,7 +127,7 @@ func Faults(e *Env) ([]FaultsRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	sres, err := fleet.RunOnlineFaults(cfg, faultsReplicas, p, open, strag)
+	sres, err := fleet.RunOnlineFaultsWorkers(cfg, faultsReplicas, p, open, strag, e.Opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +135,7 @@ func Faults(e *Env) ([]FaultsRow, error) {
 
 	// Disaggregated deployment under the same crash pressure plus an
 	// impaired KV hand-off link (degraded and partitioned windows).
-	dc := fleet.DisaggConfig{PrefillReplicas: 2, DecodeReplicas: 2}
+	dc := fleet.DisaggConfig{PrefillReplicas: 2, DecodeReplicas: 2, Workers: e.Opts.Workers}
 	dfc := faults.Config{
 		Seed:               e.Opts.Seed + 79,
 		Horizon:            makespan,

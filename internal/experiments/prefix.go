@@ -70,7 +70,7 @@ func Prefix(e *Env) ([]PrefixRow, error) {
 		if err != nil {
 			return metrics.Report{}, err
 		}
-		res, err := fleet.RunOnline(cfg, replicas, p, open)
+		res, err := fleet.RunOnlineWorkers(cfg, replicas, p, open, e.Opts.Workers)
 		if err != nil {
 			return metrics.Report{}, err
 		}

@@ -2,7 +2,9 @@ package fleet
 
 import (
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/workload"
 )
@@ -49,6 +51,64 @@ func BenchmarkOnlineFleet(b *testing.B) {
 			b.ReportMetric(res.Report.OutputThroughput(), "tok/s")
 			b.ReportMetric(res.Report.Latency.TTFTP99, "ttft-p99-s")
 		}
+	}
+}
+
+// BenchmarkOnlineFleetParallel measures the conservative-parallel
+// online path on a 64-replica fleet, sweeping the worker count. The
+// workers=1 leg is the sequential baseline (identical algorithm, no
+// goroutines); higher legs shard the fleet across cores while staying
+// byte-identical. steps/s reports total simulator events processed
+// per wall-clock second.
+func BenchmarkOnlineFleetParallel(b *testing.B) {
+	reqs := workload.StampArrivals(workload.MustGenerate(workload.DefaultConfig(4000, 1)), workload.Poisson{Rate: 400}, 7)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var steps uint64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				p, err := New(PredictedCost, Options{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := RunOnlineWorkers(fastConfig(2), 64, p, reqs, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += res.Steps
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(steps)/elapsed, "steps/s")
+			}
+		})
+	}
+}
+
+// BenchmarkMilestoneFleet is the ROADMAP item-2 record run: 1000
+// replicas serving a 1M-request online trace. It takes tens of
+// seconds, so it only runs when TDPIPE_MILESTONE is set:
+//
+//	TDPIPE_MILESTONE=1 go test ./internal/fleet -bench MilestoneFleet -benchtime 1x
+func BenchmarkMilestoneFleet(b *testing.B) {
+	if os.Getenv("TDPIPE_MILESTONE") == "" {
+		b.Skip("set TDPIPE_MILESTONE=1 to run the 1000-replica / 1M-request record benchmark")
+	}
+	reqs := workload.StampArrivals(smallTrace(1_000_000, 1), workload.Poisson{Rate: 60000}, 7)
+	for i := 0; i < b.N; i++ {
+		p, err := New(PredictedCost, Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := RunOnlineWorkers(fastConfig(2), 1000, p, reqs, WorkersAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start).Seconds()
+		b.ReportMetric(elapsed, "wall-s")
+		b.ReportMetric(float64(res.Steps)/elapsed, "steps/s")
 	}
 }
 

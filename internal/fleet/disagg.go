@@ -37,6 +37,11 @@ type DisaggConfig struct {
 	PrefillReplicas int
 	// DecodeReplicas is the number of engines dedicated to decode.
 	DecodeReplicas int
+	// Workers budgets the conservative parallel fabric: 0 or 1 runs
+	// sequentially, WorkersAuto picks GOMAXPROCS for fleets of at
+	// least AutoWorkerThreshold replicas. Reports are byte-identical
+	// across worker counts.
+	Workers int
 }
 
 // Validate reports a configuration error, if any.
@@ -74,6 +79,9 @@ type DisaggResult struct {
 	// QueuedHandoffs counts hand-offs that had to wait for decode-pool
 	// KV headroom after their transfer completed.
 	QueuedHandoffs int
+	// Steps counts the simulation events processed across the run's
+	// engines and the router timeline.
+	Steps uint64
 }
 
 // recRef locates a request's finished record: the pool, replica index
@@ -93,9 +101,13 @@ type handoffItem struct {
 	recovery bool
 }
 
-// disaggRouter coordinates the two pools inside the shared simulation.
+// disaggRouter coordinates the two pools across the fabric: prefill
+// replicas form tier 0, decode replicas tier 1, and every router
+// intervention (arrival dispatch, transfer completion, crash, restore,
+// pending drain) executes on the control timeline.
 type disaggRouter struct {
-	eng     *sim.Engine
+	ctl     *sim.Engine
+	fab     *fabric
 	prefill []*core.Engine
 	decode  []*core.Engine
 	ppolicy Policy
@@ -122,8 +134,7 @@ type disaggRouter struct {
 	items []handoffItem
 	// pending holds item indices whose transfer completed but which no
 	// decode replica can import yet, in completion order.
-	pending        []int
-	drainScheduled bool
+	pending []int
 
 	final    []recRef
 	handoffs int
@@ -186,8 +197,17 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 		return nil, err
 	}
 
-	eng := sim.NewEngine()
+	if err := validateArrivals(reqs); err != nil {
+		return nil, err
+	}
 	total := dc.PrefillReplicas + dc.DecodeReplicas
+	// Prefill and decode replicas never share a shard engine: the
+	// prefill tier advances to each control horizon first (discovering
+	// hand-offs), and the decode tier follows only after their
+	// transfer completions are on the control timeline.
+	fab := newFabric(ResolveWorkers(dc.Workers, total))
+	fab.addTier(0, dc.PrefillReplicas)
+	fab.addTier(1, dc.DecodeReplicas)
 	engines := make([]*core.Engine, 0, total)
 	shutdownAll := func() {
 		for _, e := range engines {
@@ -195,7 +215,7 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 		}
 	}
 	for i := 0; i < total; i++ {
-		e, err := core.NewEngine(eng, replicaConfig(cfg, plan, i))
+		e, err := core.NewEngine(fab.engineFor(i), replicaConfig(cfg, plan, i))
 		if err != nil {
 			shutdownAll()
 			return nil, fmt.Errorf("fleet: disagg replica %d: %w", i, err)
@@ -212,7 +232,8 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 		blockSize = kvcache.DefaultBlockSize
 	}
 	ro := &disaggRouter{
-		eng:        eng,
+		ctl:        fab.ctl,
+		fab:        fab,
 		prefill:    engines[:dc.PrefillReplicas],
 		decode:     engines[dc.PrefillReplicas:],
 		ppolicy:    ppolicy,
@@ -239,29 +260,35 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 	for i := range ro.prefill {
 		i := i
 		ro.prefill[i].SetOnFinish(func(local int) { ro.prefillFinished(i, local) })
-		ro.prefill[i].SetHandoff(func(h core.Handoff) { ro.handoff(i, h) })
+		// Hand-offs are discovered while a shard worker advances its
+		// epoch window: buffer them on the shard; the coordinator
+		// drains the buffers in canonical order at the barrier and
+		// feeds them to ro.handoff.
+		ro.prefill[i].SetHandoff(func(h core.Handoff) { fab.note(i, h) })
 	}
 	for i := range ro.decode {
 		i := i
 		ro.decode[i].SetOnFinish(func(local int) { ro.decodeFinished(i, local) })
 	}
+	fab.onNote = ro.handoff
+	fab.pendingWork = func() bool { return len(ro.pending) > 0 }
+	fab.drainAt = ro.drainPending
 
-	// One event per request at its arrival instant, in (arrival, trace
-	// index) order so simultaneous arrivals route in trace order.
+	// One control event per request at its arrival instant, in
+	// (arrival, trace index) order so simultaneous arrivals route in
+	// trace order.
 	for _, idx := range workload.SortByArrival(reqs) {
-		at := sim.Time(reqs[idx].ArrivalTime)
-		if at < 0 {
-			at = 0
-		}
-		eng.AtFunc(at, disaggArrivalEvent, ro, idx, 0)
+		fab.ctl.AtFunc(sim.Time(reqs[idx].ArrivalTime), disaggArrivalEvent, ro, idx, 0)
 	}
 	if plan != nil {
 		for ci, c := range plan.Crashes {
-			eng.AtFunc(sim.Time(c.At), disaggCrashEvent, ro, ci, 0)
-			eng.AtFunc(sim.Time(c.RestartAt), disaggRestoreEvent, ro, ci, 0)
+			fab.ctl.AtFunc(sim.Time(c.At), disaggCrashEvent, ro, ci, 0)
+			fab.ctl.AtFunc(sim.Time(c.RestartAt), disaggRestoreEvent, ro, ci, 0)
 		}
 	}
-	eng.Run()
+	fab.start()
+	defer fab.stopWorkers()
+	fab.run()
 	if ro.err == nil && plan != nil {
 		// The run drained with work still unplaceable: account it as
 		// dropped-with-reason instead of failing the run (a fault run is
@@ -298,7 +325,11 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 	if ferr != nil {
 		return nil, ferr
 	}
-	return ro.assemble(cfg, dc, results)
+	res, err := ro.assemble(cfg, dc, results)
+	if err == nil {
+		res.Steps = fab.Steps()
+	}
+	return res, err
 }
 
 // disaggArrivalEvent fires at a request's arrival instant (AtFunc: ctx
@@ -403,10 +434,12 @@ func (ro *disaggRouter) prefillFinished(replica, local int) {
 	}
 }
 
-// handoff receives a prefill-completed request and schedules its KV
-// transfer: the whole exported block window crosses the link, so the
+// handoff receives a prefill-completed request (drained canonically at
+// an epoch barrier) and schedules its KV transfer on the control
+// timeline: the whole exported block window crosses the link, so the
 // request becomes placeable on the decode pool only once the transfer
-// completes.
+// completes. The link's minimum transfer time is the lookahead that
+// keeps the decode tier's conservative advance safe.
 func (ro *disaggRouter) handoff(replica int, h core.Handoff) {
 	if ro.err != nil {
 		return
@@ -424,7 +457,7 @@ func (ro *disaggRouter) handoff(replica int, h core.Handoff) {
 	if ro.plan != nil {
 		done = ro.plan.TransferDone(float64(h.At), ro.xferTime(bytes))
 	}
-	ro.eng.AtFunc(sim.Time(done), transferDoneEvent, ro, len(ro.items)-1, 0)
+	ro.ctl.AtFunc(sim.Time(done), transferDoneEvent, ro, len(ro.items)-1, 0)
 }
 
 // transferDoneEvent fires when a hand-off's KV transfer completes
@@ -489,18 +522,15 @@ func (ro *disaggRouter) place(item int) bool {
 }
 
 // decodeFinished retires a request from its decode replica's counters
-// and, when hand-offs are waiting for headroom, schedules a drain at
-// the current instant (after the engine's event finishes, keeping the
-// engine re-entrancy-free).
+// and flags the finish on the replica's shard: when hand-offs are
+// queued for headroom, the fabric lockstep sees the flag and retries
+// placement at this instant (after every decode event at it has run).
 func (ro *disaggRouter) decodeFinished(replica, local int) {
 	ro.retireDecode(replica, local)
 	if ro.fin != nil {
 		ro.fin[ro.dShards[replica].Origin[local]]++
 	}
-	if len(ro.pending) > 0 && !ro.drainScheduled {
-		ro.drainScheduled = true
-		ro.eng.AtFunc(ro.eng.Now(), drainPendingEvent, ro, 0, 0)
-	}
+	ro.fab.markFinish(len(ro.prefill) + replica)
 }
 
 // retireDecode removes a request's contribution from its decode
@@ -513,10 +543,16 @@ func (ro *disaggRouter) retireDecode(replica, local int) {
 }
 
 // drainPendingEvent retries queued hand-offs in completion order
-// (AtFunc: ctx is the router).
+// (AtFunc: ctx is the router). Scheduled by restores; the fabric
+// lockstep calls drainPending directly at decode-finish instants.
 func drainPendingEvent(ctx any, _, _ int) {
-	ro := ctx.(*disaggRouter)
-	ro.drainScheduled = false
+	ctx.(*disaggRouter).drainPending()
+}
+
+// drainPending retries queued hand-offs in completion order. Callers
+// guarantee every decode replica's clock is parked at the drain
+// instant.
+func (ro *disaggRouter) drainPending() {
 	if ro.err != nil {
 		return
 	}
@@ -587,7 +623,7 @@ func (ro *disaggRouter) recover(origin int, l core.Lost) {
 		// and re-enter the decode pool through the hand-off machinery
 		// (placement, headroom queueing and the pending drain all
 		// behave exactly as for a fresh hand-off).
-		now := ro.eng.Now()
+		now := ro.ctl.Now()
 		h := core.Handoff{
 			Local:        -1,
 			Req:          ro.reqs[origin],
@@ -600,7 +636,7 @@ func (ro *disaggRouter) recover(origin int, l core.Lost) {
 		bytes := float64(l.Ckpt.KV.Blocks()) * ro.blockBytes
 		ro.moved += bytes
 		done := ro.plan.TransferDone(float64(now), ro.xferTime(bytes))
-		ro.eng.AtFunc(sim.Time(done), transferDoneEvent, ro, len(ro.items)-1, 0)
+		ro.ctl.AtFunc(sim.Time(done), transferDoneEvent, ro, len(ro.items)-1, 0)
 		return
 	}
 	// Recompute resume: the whole lifecycle restarts through the
@@ -637,9 +673,10 @@ func disaggRestoreEvent(ctx any, ci, _ int) {
 		ro.err = fmt.Errorf("fleet: restore of replica %d: %w", c.Replica, err)
 		return
 	}
-	if len(ro.pending) > 0 && !ro.drainScheduled {
-		ro.drainScheduled = true
-		ro.eng.AtFunc(ro.eng.Now(), drainPendingEvent, ro, 0, 0)
+	if len(ro.pending) > 0 {
+		// Retry after the control events at this instant settle: the
+		// restored replica may now import what others could not.
+		ro.ctl.AtFunc(ro.ctl.Now(), drainPendingEvent, ro, 0, 0)
 	}
 }
 

@@ -21,7 +21,7 @@ func runDisagg(t *testing.T, cfg core.Config, dc DisaggConfig, reqs []workload.R
 
 func TestDisaggValidatesPools(t *testing.T) {
 	reqs := smallTrace(10, 1)
-	for _, dc := range []DisaggConfig{{0, 2}, {2, 0}, {-1, 1}} {
+	for _, dc := range []DisaggConfig{{PrefillReplicas: 0, DecodeReplicas: 2}, {PrefillReplicas: 2, DecodeReplicas: 0}, {PrefillReplicas: -1, DecodeReplicas: 1}} {
 		if _, err := RunDisagg(fastConfig(2), dc, reqs); err == nil {
 			t.Errorf("pools %+v accepted", dc)
 		}

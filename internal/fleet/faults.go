@@ -44,8 +44,17 @@ func replicaConfig(cfg core.Config, plan *faults.Plan, i int) core.Config {
 // nil) plan delegates to RunOnline itself, so fault-free results stay
 // bit-identical to the pre-fault code path.
 func RunOnlineFaults(cfg core.Config, replicas int, p Policy, reqs []workload.Request, plan *faults.Plan) (*Result, error) {
+	return RunOnlineFaultsWorkers(cfg, replicas, p, reqs, plan, 1)
+}
+
+// RunOnlineFaultsWorkers is RunOnlineFaults with an explicit worker
+// budget for the conservative parallel fabric (see RunOnlineWorkers).
+// Crash, restore and checkpoint-resume interventions all execute on
+// the control timeline, so fault runs stay byte-identical across
+// worker counts.
+func RunOnlineFaultsWorkers(cfg core.Config, replicas int, p Policy, reqs []workload.Request, plan *faults.Plan, workers int) (*Result, error) {
 	if !plan.Active() {
-		return RunOnline(cfg, replicas, p, reqs)
+		return RunOnlineWorkers(cfg, replicas, p, reqs, workers)
 	}
 	if replicas <= 0 {
 		return nil, fmt.Errorf("fleet: replicas = %d", replicas)
@@ -53,10 +62,14 @@ func RunOnlineFaults(cfg core.Config, replicas int, p Policy, reqs []workload.Re
 	if p == nil {
 		return nil, fmt.Errorf("fleet: nil policy")
 	}
-	eng := sim.NewEngine()
+	if err := validateArrivals(reqs); err != nil {
+		return nil, err
+	}
+	fab := newFabric(ResolveWorkers(workers, replicas))
+	fab.addTier(0, replicas)
 	engines := make([]*core.Engine, replicas)
 	for i := range engines {
-		e, err := core.NewEngine(eng, replicaConfig(cfg, plan, i))
+		e, err := core.NewEngine(fab.engineFor(i), replicaConfig(cfg, plan, i))
 		if err == nil {
 			err = e.StartOnline()
 		}
@@ -76,7 +89,7 @@ func RunOnlineFaults(cfg core.Config, replicas int, p Policy, reqs []workload.Re
 		blockSize = kvcache.DefaultBlockSize
 	}
 	ro := &frouter{
-		eng:           eng,
+		ctl:           fab.ctl,
 		plan:          plan,
 		policy:        p,
 		engines:       engines,
@@ -98,19 +111,17 @@ func RunOnlineFaults(cfg core.Config, replicas int, p Policy, reqs []workload.Re
 		engines[i].SetOnFinish(func(local int) { ro.finished(i, local) })
 	}
 	for _, idx := range workload.SortByArrival(reqs) {
-		at := sim.Time(reqs[idx].ArrivalTime)
-		if at < 0 {
-			at = 0
-		}
-		eng.AtFunc(at, frouteEvent, ro, idx, 0)
+		fab.ctl.AtFunc(sim.Time(reqs[idx].ArrivalTime), frouteEvent, ro, idx, 0)
 	}
 	for ci, c := range plan.Crashes {
 		if c.Replica < replicas {
-			eng.AtFunc(sim.Time(c.At), fcrashEvent, ro, ci, 0)
-			eng.AtFunc(sim.Time(c.RestartAt), frestoreEvent, ro, ci, 0)
+			fab.ctl.AtFunc(sim.Time(c.At), fcrashEvent, ro, ci, 0)
+			fab.ctl.AtFunc(sim.Time(c.RestartAt), frestoreEvent, ro, ci, 0)
 		}
 	}
-	eng.Run()
+	fab.start()
+	defer fab.stopWorkers()
+	fab.run()
 	if ro.err == nil {
 		for _, q := range ro.queued {
 			ro.drop(q.origin, "no live replica")
@@ -135,7 +146,11 @@ func RunOnlineFaults(cfg core.Config, replicas int, p Policy, reqs []workload.Re
 	if ferr != nil {
 		return nil, ferr
 	}
-	return ro.assemble(cfg, results)
+	res, err := ro.assemble(cfg, results)
+	if err == nil {
+		res.Steps = fab.Steps()
+	}
+	return res, err
 }
 
 // pendingRec is one dispatchable unit: a fresh arrival or a crash-lost
@@ -146,9 +161,11 @@ type pendingRec struct {
 	lost   core.Lost
 }
 
-// frouter is the fault-aware online router.
+// frouter is the fault-aware online router. All of its interventions
+// (arrival dispatch, crash, restore, checkpoint resume) execute as
+// control-timeline events on the fabric coordinator.
 type frouter struct {
-	eng     *sim.Engine
+	ctl     *sim.Engine
 	plan    *faults.Plan
 	policy  Policy
 	engines []*core.Engine
@@ -302,7 +319,7 @@ func (ro *frouter) recover(origin int, l core.Lost) {
 		// over the KV link before it can be re-imported.
 		ro.items = append(ro.items, pendingRec{origin: origin, lost: l})
 		bytes := float64(l.Ckpt.KV.Blocks()) * ro.blockBytes
-		ro.eng.AtFunc(ro.eng.Now()+sim.Time(ro.xferTime(bytes)), fresumeEvent, ro, len(ro.items)-1, 0)
+		ro.ctl.AtFunc(ro.ctl.Now()+sim.Time(ro.xferTime(bytes)), fresumeEvent, ro, len(ro.items)-1, 0)
 		return
 	}
 	ro.fstats.RecoveredRecompute++
@@ -329,7 +346,7 @@ func fresumeEvent(ctx any, item, _ int) {
 		KV:           ck.KV,
 		Generated:    ck.Generated,
 		FirstTokenAt: ck.FirstTokenAt,
-		At:           ro.eng.Now(),
+		At:           ro.ctl.Now(),
 	}
 	ro.cand = ro.cand[:0]
 	loads := ro.loads[:0]

@@ -100,6 +100,10 @@ type Result struct {
 	Records []metrics.RequestRecord
 	// Policy is the dispatch policy name.
 	Policy string
+	// Steps counts the simulation events processed across the run's
+	// engines (router timeline included for online runs). Dividing by
+	// wall-clock time yields the simulator's steps/sec rate.
+	Steps uint64
 }
 
 // Run executes reqs across replicas data-parallel copies of cfg under
@@ -127,7 +131,15 @@ func Run(cfg core.Config, replicas int, p Policy, reqs []workload.Request) (*Res
 			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
 		}
 	}
-	return assemble(cfg, "Fleet", p.Name(), results, shards, len(reqs))
+	res, err := assemble(cfg, "Fleet", p.Name(), results, shards, len(reqs))
+	if err == nil {
+		// Offline replicas own their engines, so per-replica step
+		// counts sum without double counting.
+		for _, r := range results {
+			res.Steps += r.Steps
+		}
+	}
+	return res, err
 }
 
 // assemble builds the merged fleet result from per-replica outcomes:

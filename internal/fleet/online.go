@@ -1,12 +1,33 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// ErrInvalidArrival reports a trace whose arrival stamps cannot be
+// scheduled: negative (before simulation start) or NaN. Every online
+// router validates the trace up front and returns this error (wrapped
+// with the offending trace index) before any engine is built — a bad
+// stamp is a workload bug, and silently clamping it to t=0 would
+// reorder the trace behind the caller's back.
+var ErrInvalidArrival = errors.New("fleet: invalid arrival time")
+
+// validateArrivals rejects traces with negative or NaN arrival stamps.
+// Closed-loop traces (all zeros) pass: zero is a valid instant.
+func validateArrivals(reqs []workload.Request) error {
+	for i := range reqs {
+		if at := reqs[i].ArrivalTime; at < 0 || math.IsNaN(at) {
+			return fmt.Errorf("%w: request %d arrives at %v; stamp traces with workload arrival processes or shift them to start at t >= 0", ErrInvalidArrival, i, at)
+		}
+	}
+	return nil
+}
 
 // RunOnline serves an arrival-stamped trace as an online router: every
 // replica engine runs on ONE shared virtual clock, and each request is
@@ -19,21 +40,33 @@ import (
 // routing one arrival costs O(replicas) instead of rescanning every
 // outstanding request.
 //
-// The co-simulation is single-threaded (one event queue), so results
-// are deterministic for a fixed trace, config and policy seed. Use Run
-// for closed-loop (all-at-t=0) traces, where the pre-shard is
-// equivalent and replicas can simulate in parallel.
+// The co-simulation is deterministic for a fixed trace, config and
+// policy seed, independent of the worker count. Use Run for
+// closed-loop (all-at-t=0) traces, where the pre-shard is equivalent
+// and replicas can simulate in parallel.
 func RunOnline(cfg core.Config, replicas int, p Policy, reqs []workload.Request) (*Result, error) {
+	return RunOnlineWorkers(cfg, replicas, p, reqs, 1)
+}
+
+// RunOnlineWorkers is RunOnline with an explicit worker budget for the
+// conservative parallel fabric: 0 or 1 runs sequentially, WorkersAuto
+// picks GOMAXPROCS for fleets of at least AutoWorkerThreshold
+// replicas. Reports are byte-identical across worker counts.
+func RunOnlineWorkers(cfg core.Config, replicas int, p Policy, reqs []workload.Request, workers int) (*Result, error) {
 	if replicas <= 0 {
 		return nil, fmt.Errorf("fleet: replicas = %d", replicas)
 	}
 	if p == nil {
 		return nil, fmt.Errorf("fleet: nil policy")
 	}
-	eng := sim.NewEngine()
+	if err := validateArrivals(reqs); err != nil {
+		return nil, err
+	}
+	fab := newFabric(ResolveWorkers(workers, replicas))
+	fab.addTier(0, replicas)
 	engines := make([]*core.Engine, replicas)
 	for i := range engines {
-		e, err := core.NewEngine(eng, cfg)
+		e, err := core.NewEngine(fab.engineFor(i), cfg)
 		if err != nil {
 			for _, prev := range engines[:i] {
 				prev.Shutdown()
@@ -62,18 +95,16 @@ func RunOnline(cfg core.Config, replicas int, p Policy, reqs []workload.Request)
 		i := i
 		engines[i].SetOnFinish(func(local int) { router.finished(i, local) })
 	}
-	// One event per request at its arrival instant, scheduled in
-	// (arrival, trace index) order so simultaneous arrivals route in
+	// One control event per request at its arrival instant, scheduled
+	// in (arrival, trace index) order so simultaneous arrivals route in
 	// trace order. AtFunc carries the trace index, so arrivals cost no
 	// closure.
 	for _, idx := range workload.SortByArrival(reqs) {
-		at := sim.Time(reqs[idx].ArrivalTime)
-		if at < 0 {
-			at = 0
-		}
-		eng.AtFunc(at, routeEvent, router, idx, 0)
+		fab.ctl.AtFunc(sim.Time(reqs[idx].ArrivalTime), routeEvent, router, idx, 0)
 	}
-	eng.Run()
+	fab.start()
+	defer fab.stopWorkers()
+	fab.run()
 	if router.err != nil {
 		for _, e := range engines {
 			e.Shutdown()
@@ -95,7 +126,11 @@ func RunOnline(cfg core.Config, replicas int, p Policy, reqs []workload.Request)
 	if ferr != nil {
 		return nil, ferr
 	}
-	return assemble(cfg, "FleetOnline", p.Name(), results, router.shards, len(reqs))
+	res, err := assemble(cfg, "FleetOnline", p.Name(), results, router.shards, len(reqs))
+	if err == nil {
+		res.Steps = fab.Steps()
+	}
+	return res, err
 }
 
 // loadEntry is one routed request's contribution to its replica's load

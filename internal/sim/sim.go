@@ -265,3 +265,47 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	}
 	return e.now
 }
+
+// RunBefore executes events with time strictly less than horizon and
+// then stops, leaving events at or after the horizon queued. Unlike
+// RunUntil it does not move the clock up to the horizon: the clock
+// stays at the last executed event, so a later AdvanceTo (or the next
+// RunBefore) decides where time lands. It returns the final virtual
+// time. Conservative parallel co-simulation is the intended caller:
+// each shard engine drains its window up to a safe horizon while the
+// events at the horizon itself stay pending for the coordinator.
+func (e *Engine) RunBefore(horizon Time) Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at >= horizon {
+			break
+		}
+		e.dispatch(e.pop())
+	}
+	return e.now
+}
+
+// NextEventTime returns the time of the earliest pending event, or
+// Infinity when the queue is empty.
+func (e *Engine) NextEventTime() Time {
+	if len(e.heap) == 0 {
+		return Infinity
+	}
+	return e.heap[0].at
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// It panics if t is in the past or if an event earlier than t is still
+// pending (advancing would let it fire in the engine's past). Callers
+// drain the window first — RunBefore(t) followed by AdvanceTo(t) parks
+// the engine exactly at t so externally injected work (Submit, Crash)
+// is stamped with the coordinator's clock.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: advancing clock to %v before now %v", t, e.now))
+	}
+	if len(e.heap) > 0 && e.heap[0].at < t {
+		panic(fmt.Sprintf("sim: advancing clock to %v past pending event at %v", t, e.heap[0].at))
+	}
+	e.now = t
+}

@@ -122,6 +122,69 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+func TestEngineRunBefore(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	// Strict horizon: the event at t=3 stays pending, and the clock
+	// parks at the last executed event, not at the horizon.
+	e.RunBefore(3)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before t=3, want 2", len(fired))
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock = %v after RunBefore(3), want 2", e.Now())
+	}
+	if got := e.NextEventTime(); got != 3 {
+		t.Fatalf("NextEventTime = %v, want 3", got)
+	}
+	// Events cascading inside the window still run: an event at 3.5
+	// scheduling one at 3.75 drains both under RunBefore(4).
+	e.At(3.5, func() { e.At(3.75, func() { fired = append(fired, 3.75) }) })
+	e.RunBefore(4)
+	if len(fired) != 4 || fired[3] != 3.75 {
+		t.Fatalf("fired = %v, want cascade through 3.75", fired)
+	}
+	e.Run()
+	if e.NextEventTime() != Infinity {
+		t.Fatalf("NextEventTime on empty queue = %v, want Infinity", e.NextEventTime())
+	}
+}
+
+func TestEngineAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.RunBefore(2)
+	e.AdvanceTo(2)
+	if e.Now() != 2 {
+		t.Fatalf("clock = %v after AdvanceTo(2), want 2", e.Now())
+	}
+	// Advancing onto a pending event's instant is allowed (the event
+	// can still fire at now); advancing past it must panic.
+	e.At(3, func() {})
+	e.AdvanceTo(3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdvanceTo past a pending event did not panic")
+			}
+		}()
+		e.AdvanceTo(3.5)
+	}()
+	e.Run()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdvanceTo into the past did not panic")
+			}
+		}()
+		e.AdvanceTo(1)
+	}()
+}
+
 func TestEngineMaxStepsGuard(t *testing.T) {
 	e := NewEngine()
 	e.MaxSteps = 100

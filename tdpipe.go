@@ -161,6 +161,11 @@ const (
 	FleetDecodeAffinity = fleet.DecodeAffinity
 )
 
+// FleetWorkersAuto requests automatic simulation-worker selection for
+// the parallel fleet runners: GOMAXPROCS workers on fleets of at least
+// fleet.AutoWorkerThreshold replicas, sequential below that.
+const FleetWorkersAuto = fleet.WorkersAuto
+
 // FleetPolicies lists the registered dispatch policies.
 func FleetPolicies() []string { return fleet.Names() }
 
@@ -185,12 +190,22 @@ func NewFleetPolicy(name string, opts FleetOptions) (FleetPolicy, error) {
 // are deterministic for a given trace and config; use fleet.Run or
 // fleet.RunOnline directly for custom policy instances or seeds.
 func RunFleet(cfg Config, replicas int, policy string, reqs []Request) (*FleetResult, error) {
+	return RunFleetWorkers(cfg, replicas, policy, reqs, 1)
+}
+
+// RunFleetWorkers is RunFleet with the online co-simulation sharded
+// across the given number of worker goroutines (0 or 1 sequential,
+// FleetWorkersAuto for automatic selection). Reports and records are
+// byte-identical across worker counts; workers only change wall-clock
+// time. Closed-loop traces ignore the worker count — their replicas
+// already simulate concurrently.
+func RunFleetWorkers(cfg Config, replicas int, policy string, reqs []Request, workers int) (*FleetResult, error) {
 	p, err := fleet.New(policy, fleet.Options{Seed: 1, Predictor: cfg.Predictor})
 	if err != nil {
 		return nil, err
 	}
 	if workload.HasArrivals(reqs) {
-		return fleet.RunOnline(cfg, replicas, p, reqs)
+		return fleet.RunOnlineWorkers(cfg, replicas, p, reqs, workers)
 	}
 	return fleet.Run(cfg, replicas, p, reqs)
 }
@@ -205,7 +220,9 @@ func RunFleet(cfg Config, replicas int, policy string, reqs []Request) (*FleetRe
 // clock, so results are deterministic for a fixed trace and config.
 // Compare against RunFleet on the same trace to measure what the split
 // buys (TTFT tails under bursts) and costs (transfer time, decode
-// slots).
+// slots). Set dc.Workers (FleetWorkersAuto for automatic selection) to
+// shard the co-simulation across goroutines; results stay
+// byte-identical across worker counts.
 func RunDisagg(cfg Config, dc DisaggConfig, reqs []Request) (*DisaggResult, error) {
 	return fleet.RunDisagg(cfg, dc, reqs)
 }
@@ -249,11 +266,18 @@ func FaultWeightReloadTime(node Node, spec ModelSpec, world int) float64 {
 // finished or dropped. An inactive plan (nil, or one scheduling no
 // failures) takes the exact fault-free RunOnline code path.
 func RunFleetFaults(cfg Config, replicas int, policy string, reqs []Request, plan *FaultPlan) (*FleetResult, error) {
+	return RunFleetFaultsWorkers(cfg, replicas, policy, reqs, plan, 1)
+}
+
+// RunFleetFaultsWorkers is RunFleetFaults sharded across simulation
+// workers (see RunFleetWorkers); fault runs too are byte-identical
+// across worker counts.
+func RunFleetFaultsWorkers(cfg Config, replicas int, policy string, reqs []Request, plan *FaultPlan, workers int) (*FleetResult, error) {
 	p, err := fleet.New(policy, fleet.Options{Seed: 1, Predictor: cfg.Predictor})
 	if err != nil {
 		return nil, err
 	}
-	return fleet.RunOnlineFaults(cfg, replicas, p, reqs, plan)
+	return fleet.RunOnlineFaultsWorkers(cfg, replicas, p, reqs, plan, workers)
 }
 
 // RunDisaggFaults is RunDisagg under a fault plan: pool replicas crash
