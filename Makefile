@@ -7,7 +7,7 @@ FUZZTIME ?= 30s
 # artifacts accumulate into a perf trajectory).
 BENCH_N ?= local
 
-.PHONY: build vet fmt-check test race bench bench-json bench-compare fuzz smoke ci
+.PHONY: build vet fmt-check lint-docs test race bench bench-json bench-compare fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ fmt-check:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# Doc gate: every exported identifier in the repo (facade, internal
+# packages, commands) must carry a godoc comment. cmd/lintdocs is a
+# small go/ast walker, so the rule needs no external linter.
+lint-docs:
+	$(GO) run ./cmd/lintdocs -r .
 
 test:
 	$(GO) test ./...
@@ -73,5 +79,6 @@ fuzz:
 smoke:
 	$(GO) run ./cmd/tdpipe -exp disagg,faults -requests 250 -pool 2000
 	$(GO) run ./cmd/tdpipe -exp disagg,faults -requests 250 -pool 2000 -workers 4
+	$(GO) run ./cmd/tdpipe -exp autoscale -requests 250 -pool 2000 -workers 4
 
-ci: build vet test race smoke
+ci: build vet lint-docs test race smoke

@@ -37,6 +37,23 @@
 // ablation. The prefix-affinity policy routes each group to the
 // replica with the warmest matching prefix.
 //
+// Autoscaling & policies: -autoscale-max N turns on elastic
+// provisioning — an SLO-watching controller scales the active replica
+// count between -autoscale-min and N mid-run, each scale-up paying the
+// node's modeled weight-load cold start. In fleet mode the whole fleet
+// breathes; with -disagg the decode pool does. The front-door flags
+// compose on the fleet router: -admit-rate/-admit-burst (token-bucket
+// admission), -retry-attempts (seeded exponential backoff for shed
+// requests), -breaker-failures (per-replica circuit breaking on TTFT
+// SLO misses, with half-open probes; needs -slo-ttft) and
+// -priority-tiers (priority-stamped traffic; high tiers preempt low
+// tiers' KV under pressure via the eviction-recompute path). All
+// policies are deterministic for a fixed seed and byte-identical
+// across -workers counts:
+//
+//	tdpipe-sim -replicas 4 -arrivals diurnal -rate 3 -slo-ttft 10 \
+//	    -autoscale-max 4 -autoscale-min 1 -admit-rate 6 -retry-attempts 3
+//
 // Fault injection: a seeded fault plan can be layered onto fleet or
 // disaggregated runs (the recovery path needs a router, so -replicas >
 // 1 or -disagg is required). -mtbf sets each replica's mean time
@@ -77,6 +94,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/offload"
+	"repro/internal/policy"
 	"repro/internal/predictor"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -111,6 +129,15 @@ type options struct {
 	prefixTurns   int
 	noPrefixCache bool
 
+	autoscaleMin      int
+	autoscaleMax      int
+	autoscaleInterval float64
+	admitRate         float64
+	admitBurst        int
+	breakerFailures   int
+	retryAttempts     int
+	priorityTiers     int
+
 	mtbf              float64
 	faultHorizon      float64
 	restartDelay      float64
@@ -144,6 +171,56 @@ func (o options) faultConfig() faults.Config {
 	}
 }
 
+// policyStack assembles the front-door policy stack from the flag
+// group; nil when no policy flag is set. The autoscaler's TTFT target
+// is half the TTFT SLO so scale-ups start before the SLO is breached.
+func (o options) policyStack() (*policy.Stack, error) {
+	st := &policy.Stack{}
+	if o.admitRate > 0 {
+		st.Admission = policy.NewTokenBucket(o.admitRate, float64(o.admitBurst))
+	}
+	if o.retryAttempts > 0 {
+		st.Retry = policy.NewBackoff(policy.BackoffConfig{MaxAttempts: o.retryAttempts, Seed: o.seed + 5000})
+	}
+	if o.breakerFailures > 0 {
+		st.Breaker = &policy.BreakerConfig{FailureThreshold: o.breakerFailures}
+	}
+	if o.priorityTiers > 0 {
+		st.Preemption = &policy.PreemptionConfig{}
+	}
+	if o.autoscaleMax > 0 {
+		as, err := policy.NewAutoscaler(policy.AutoscalerConfig{
+			Min:            o.autoscaleMin,
+			Max:            o.autoscaleMax,
+			Interval:       o.autoscaleInterval,
+			ScaleUpQueue:   4,
+			ScaleDownQueue: 1,
+			TTFTTarget:     o.slo.TTFT / 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.Autoscaler = as
+	}
+	if !st.Active() {
+		return nil, nil
+	}
+	return st, nil
+}
+
+// printPolicy shows the autoscale and admission accounting when any
+// policy activity was recorded.
+func printPolicy(rep metrics.Report) {
+	if a := rep.Autoscale; a.Any() {
+		fmt.Printf("autoscale: %d ticks, %d up / %d down, peak %d replicas, %.0f GPU-s provisioned, %.0f s cold start\n",
+			a.Ticks, a.ScaleUps, a.ScaleDowns, a.PeakReplicas, a.GPUSeconds, a.ColdStartSeconds)
+	}
+	if ad := rep.Admission; ad.Any() {
+		fmt.Printf("admission: %d shed, %d retries, %d dropped, %d breaker trips (%d routing skips), %d preemptions\n",
+			ad.Shed, ad.Retries, ad.Dropped, ad.BreakerTrips, ad.BreakerSkips, ad.Preemptions)
+	}
+}
+
 // printFaults shows the fault/recovery accounting when any fault
 // activity was recorded.
 func printFaults(rep metrics.Report) {
@@ -165,47 +242,62 @@ func main() {
 	os.Exit(realMain())
 }
 
+// registerFlags binds every tdpipe-sim flag to the options struct on
+// the given set. The README flag-reference table is checked against
+// this registration by a test, so the two cannot drift.
+func registerFlags(fs *flag.FlagSet, o *options) {
+	fs.StringVar(&o.node, "node", "A100", "node: L20 or A100")
+	fs.StringVar(&o.model, "model", "70B", "model: 13B, 32B, 70B")
+	fs.IntVar(&o.gpus, "gpus", 4, "number of GPUs")
+	fs.StringVar(&o.sched, "sched", "tdpipe", "scheduler: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload")
+	fs.IntVar(&o.requests, "requests", 2000, "number of requests")
+	fs.IntVar(&o.pool, "pool", 20000, "corpus size for predictor training")
+	fs.Int64Var(&o.seed, "seed", 1, "trace seed")
+	fs.StringVar(&o.outDir, "out", "", "directory for CSV/JSON export (optional)")
+	fs.BoolVar(&o.oracle, "oracle", false, "use the oracle length predictor instead of the trained classifier")
+	fs.IntVar(&o.replicas, "replicas", 1, "data-parallel TD-Pipe replicas (fleet mode when > 1)")
+	fs.StringVar(&o.policy, "policy", fleet.RoundRobin, "fleet dispatch policy: "+strings.Join(fleet.Names(), ", "))
+	fs.IntVar(&o.workers, "workers", 0, "fleet simulation workers: 0 or 1 sequential, -1 auto (GOMAXPROCS on fleets of 16+ replicas); reports are byte-identical across counts")
+	fs.StringVar(&o.arrivals, "arrivals", workload.ArrivalInstant,
+		"arrival process: "+strings.Join(workload.ArrivalKinds(), ", "))
+	fs.Float64Var(&o.rate, "rate", 0, "mean arrival rate in requests/s (required unless -arrivals instant)")
+	fs.Float64Var(&o.slo.E2E, "slo", 0, "end-to-end latency SLO in seconds (0 disables)")
+	fs.Float64Var(&o.slo.TTFT, "slo-ttft", 0, "time-to-first-token SLO in seconds (0 disables)")
+	fs.Float64Var(&o.slo.TPOT, "slo-tpot", 0, "time-per-output-token SLO in seconds (0 disables)")
+	fs.BoolVar(&o.disagg, "disagg", false, "disaggregated mode: dedicated prefill and decode pools with KV hand-off (requires -sched tdpipe)")
+	fs.IntVar(&o.prefillReplicas, "prefill-replicas", 1, "prefill-pool replicas in -disagg mode")
+	fs.IntVar(&o.decodeReplicas, "decode-replicas", 3, "decode-pool replicas in -disagg mode")
+	fs.Float64Var(&o.kvBW, "kv-bw", 0, "KV hand-off link bandwidth in GB/s (0 keeps the node default)")
+	fs.Float64Var(&o.kvLat, "kv-lat", 0, "KV hand-off link latency in seconds (0 keeps the node default)")
+	fs.IntVar(&o.autoscaleMax, "autoscale-max", 0, "elastic autoscaling: max active replicas (0 disables; scales the fleet, or the decode pool with -disagg)")
+	fs.IntVar(&o.autoscaleMin, "autoscale-min", 1, "elastic autoscaling: min active replicas")
+	fs.Float64Var(&o.autoscaleInterval, "autoscale-interval", 1, "elastic autoscaling: evaluation cadence in virtual seconds")
+	fs.Float64Var(&o.admitRate, "admit-rate", 0, "token-bucket admission rate in requests/s (0 disables admission control)")
+	fs.IntVar(&o.admitBurst, "admit-burst", 16, "token-bucket admission burst size")
+	fs.IntVar(&o.breakerFailures, "breaker-failures", 0, "consecutive TTFT SLO misses that trip a replica's circuit breaker (0 disables; needs -slo-ttft)")
+	fs.IntVar(&o.retryAttempts, "retry-attempts", 0, "admission attempts per request under seeded exponential backoff (0 disables retry; shed requests are then dropped)")
+	fs.IntVar(&o.priorityTiers, "priority-tiers", 0, "stamp the trace with priority tiers and preempt low tiers under KV pressure (0 disables; >= 2 tiers)")
+	fs.IntVar(&o.prefixGroups, "prefix-groups", 0, "shared-prefix groups to stamp on the trace (0 disables prefix structure)")
+	fs.IntVar(&o.prefixLen, "prefix-len", 256, "mean shared-prefix length in tokens")
+	fs.IntVar(&o.prefixTurns, "prefix-turns", 4, "conversation depth: turns over which a group's prefix grows")
+	fs.BoolVar(&o.noPrefixCache, "no-prefix-cache", false, "disable shared-prefix KV reuse (ablation)")
+	fs.Float64Var(&o.mtbf, "mtbf", 0, "mean time between replica failures in virtual seconds (0 disables crashes; needs -fault-horizon)")
+	fs.Float64Var(&o.faultHorizon, "fault-horizon", 0, "virtual-time horizon bounding fault activity in seconds")
+	fs.IntVar(&o.maxRetries, "max-retries", 0, "re-dispatches per crash-lost request before it is dropped (0 = default 3)")
+	fs.Float64Var(&o.restartDelay, "restart-delay", 2, "process-restart seconds added to each crash outage (weight reload is modeled on top)")
+	fs.IntVar(&o.stragglers, "stragglers", 0, "replicas (chosen by the fault seed) slowed by -straggler-factor")
+	fs.Float64Var(&o.stragglerFactor, "straggler-factor", 1.3, "pass-duration multiplier for straggler replicas")
+	fs.Float64Var(&o.ckptInterval, "ckpt-interval", 0, "periodic KV checkpoint cadence in virtual seconds (0 disables; crash recovery then recomputes)")
+	fs.Float64Var(&o.linkDegradeFrac, "link-degrade-frac", 0, "fraction of KV-link windows running degraded (-disagg only)")
+	fs.Float64Var(&o.linkDegradeFactor, "link-degrade-factor", 4, "KV transfer slowdown inside degraded windows")
+	fs.Float64Var(&o.linkPartitionFrac, "link-partition-frac", 0, "fraction of KV-link windows fully partitioned (-disagg only)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit (pprof format)")
+}
+
 func realMain() int {
 	var o options
-	flag.StringVar(&o.node, "node", "A100", "node: L20 or A100")
-	flag.StringVar(&o.model, "model", "70B", "model: 13B, 32B, 70B")
-	flag.IntVar(&o.gpus, "gpus", 4, "number of GPUs")
-	flag.StringVar(&o.sched, "sched", "tdpipe", "scheduler: tdpipe, tp+sb, tp+hb, pp+sb, pp+hb, offload")
-	flag.IntVar(&o.requests, "requests", 2000, "number of requests")
-	flag.IntVar(&o.pool, "pool", 20000, "corpus size for predictor training")
-	flag.Int64Var(&o.seed, "seed", 1, "trace seed")
-	flag.StringVar(&o.outDir, "out", "", "directory for CSV/JSON export (optional)")
-	flag.BoolVar(&o.oracle, "oracle", false, "use the oracle length predictor instead of the trained classifier")
-	flag.IntVar(&o.replicas, "replicas", 1, "data-parallel TD-Pipe replicas (fleet mode when > 1)")
-	flag.StringVar(&o.policy, "policy", fleet.RoundRobin, "fleet dispatch policy: "+strings.Join(fleet.Names(), ", "))
-	flag.IntVar(&o.workers, "workers", 0, "fleet simulation workers: 0 or 1 sequential, -1 auto (GOMAXPROCS on fleets of 16+ replicas); reports are byte-identical across counts")
-	flag.StringVar(&o.arrivals, "arrivals", workload.ArrivalInstant,
-		"arrival process: "+strings.Join(workload.ArrivalKinds(), ", "))
-	flag.Float64Var(&o.rate, "rate", 0, "mean arrival rate in requests/s (required unless -arrivals instant)")
-	flag.Float64Var(&o.slo.E2E, "slo", 0, "end-to-end latency SLO in seconds (0 disables)")
-	flag.Float64Var(&o.slo.TTFT, "slo-ttft", 0, "time-to-first-token SLO in seconds (0 disables)")
-	flag.Float64Var(&o.slo.TPOT, "slo-tpot", 0, "time-per-output-token SLO in seconds (0 disables)")
-	flag.BoolVar(&o.disagg, "disagg", false, "disaggregated mode: dedicated prefill and decode pools with KV hand-off (requires -sched tdpipe)")
-	flag.IntVar(&o.prefillReplicas, "prefill-replicas", 1, "prefill-pool replicas in -disagg mode")
-	flag.IntVar(&o.decodeReplicas, "decode-replicas", 3, "decode-pool replicas in -disagg mode")
-	flag.Float64Var(&o.kvBW, "kv-bw", 0, "KV hand-off link bandwidth in GB/s (0 keeps the node default)")
-	flag.Float64Var(&o.kvLat, "kv-lat", 0, "KV hand-off link latency in seconds (0 keeps the node default)")
-	flag.IntVar(&o.prefixGroups, "prefix-groups", 0, "shared-prefix groups to stamp on the trace (0 disables prefix structure)")
-	flag.IntVar(&o.prefixLen, "prefix-len", 256, "mean shared-prefix length in tokens")
-	flag.IntVar(&o.prefixTurns, "prefix-turns", 4, "conversation depth: turns over which a group's prefix grows")
-	flag.BoolVar(&o.noPrefixCache, "no-prefix-cache", false, "disable shared-prefix KV reuse (ablation)")
-	flag.Float64Var(&o.mtbf, "mtbf", 0, "mean time between replica failures in virtual seconds (0 disables crashes; needs -fault-horizon)")
-	flag.Float64Var(&o.faultHorizon, "fault-horizon", 0, "virtual-time horizon bounding fault activity in seconds")
-	flag.IntVar(&o.maxRetries, "max-retries", 0, "re-dispatches per crash-lost request before it is dropped (0 = default 3)")
-	flag.Float64Var(&o.restartDelay, "restart-delay", 2, "process-restart seconds added to each crash outage (weight reload is modeled on top)")
-	flag.IntVar(&o.stragglers, "stragglers", 0, "replicas (chosen by the fault seed) slowed by -straggler-factor")
-	flag.Float64Var(&o.stragglerFactor, "straggler-factor", 1.3, "pass-duration multiplier for straggler replicas")
-	flag.Float64Var(&o.ckptInterval, "ckpt-interval", 0, "periodic KV checkpoint cadence in virtual seconds (0 disables; crash recovery then recomputes)")
-	flag.Float64Var(&o.linkDegradeFrac, "link-degrade-frac", 0, "fraction of KV-link windows running degraded (-disagg only)")
-	flag.Float64Var(&o.linkDegradeFactor, "link-degrade-factor", 4, "KV transfer slowdown inside degraded windows")
-	flag.Float64Var(&o.linkPartitionFrac, "link-partition-frac", 0, "fraction of KV-link windows fully partitioned (-disagg only)")
-	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (pprof format)")
-	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit (pprof format)")
+	registerFlags(flag.CommandLine, &o)
 	flag.Parse()
 	if o.cpuprofile != "" {
 		f, err := os.Create(o.cpuprofile)
@@ -307,6 +399,10 @@ func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Re
 	if err != nil {
 		return err
 	}
+	stack, err := o.policyStack()
+	if err != nil {
+		return err
+	}
 	var res *fleet.Result
 	start := time.Now()
 	if fc := o.faultConfig(); fc.Enabled() {
@@ -319,6 +415,8 @@ func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Re
 		if err != nil {
 			return err
 		}
+	} else if stack != nil {
+		res, err = fleet.RunOnlineElasticWorkers(cfg, o.replicas, p, reqs, stack, o.workers)
 	} else if open {
 		res, err = fleet.RunOnlineWorkers(cfg, o.replicas, p, reqs, o.workers)
 	} else {
@@ -344,6 +442,7 @@ func runFleet(o options, node hw.Node, spec model.Spec, pool, reqs []workload.Re
 	printLatency(res.Report, open)
 	printPrefix(res.Report)
 	printFaults(res.Report)
+	printPolicy(res.Report)
 
 	if o.outDir == "" {
 		return nil
@@ -378,9 +477,12 @@ func runDisagg(o options, node hw.Node, spec model.Spec, pool, reqs []workload.R
 		}
 		cfg.Predictor = clf
 	}
-	dc := fleet.DisaggConfig{PrefillReplicas: o.prefillReplicas, DecodeReplicas: o.decodeReplicas, Workers: o.workers}
+	stack, err := o.policyStack()
+	if err != nil {
+		return err
+	}
+	dc := fleet.DisaggConfig{PrefillReplicas: o.prefillReplicas, DecodeReplicas: o.decodeReplicas, Workers: o.workers, Stack: stack}
 	var res *fleet.DisaggResult
-	var err error
 	start := time.Now()
 	if fc := o.faultConfig(); fc.Enabled() {
 		downtime := o.restartDelay + faults.WeightReloadTime(node, spec, o.gpus)
@@ -419,6 +521,7 @@ func runDisagg(o options, node hw.Node, spec model.Spec, pool, reqs []workload.R
 	printLatency(res.Report, open)
 	printPrefix(res.Report)
 	printFaults(res.Report)
+	printPolicy(res.Report)
 
 	if o.outDir == "" {
 		return nil
@@ -476,11 +579,20 @@ func run(o options) error {
 		}
 	}
 
+	if o.priorityTiers > 0 {
+		reqs, err = workload.StampPriorities(reqs, workload.PriorityConfig{
+			Tiers: o.priorityTiers, HighFraction: 0.2, Seed: o.seed + 6000,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	// Flags are partitioned by mode: fleet flags are meaningless under
 	// -disagg (pools are sized by -prefill/-decode-replicas, the policy
 	// pair is fixed) and the disagg flags do nothing without it. Reject
 	// either mismatch rather than silently substitute defaults.
-	var fleetFlags, disaggFlags, linkFlags []string
+	var fleetFlags, disaggFlags, linkFlags, frontFlags, scaleFlags []string
 	workersSet := false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -490,6 +602,10 @@ func run(o options) error {
 			disaggFlags = append(disaggFlags, "-"+f.Name)
 		case "link-degrade-frac", "link-degrade-factor", "link-partition-frac":
 			linkFlags = append(linkFlags, "-"+f.Name)
+		case "admit-rate", "admit-burst", "breaker-failures", "retry-attempts", "priority-tiers":
+			frontFlags = append(frontFlags, "-"+f.Name)
+		case "autoscale-max", "autoscale-min", "autoscale-interval":
+			scaleFlags = append(scaleFlags, "-"+f.Name)
 		case "workers":
 			workersSet = true
 		}
@@ -498,6 +614,19 @@ func run(o options) error {
 		return fmt.Errorf("%s model the KV hand-off link and only take effect with -disagg", strings.Join(linkFlags, ", "))
 	}
 	fc := o.faultConfig()
+	if len(frontFlags) > 0 && o.disagg {
+		return fmt.Errorf("%s ride the online fleet router; with -disagg only the -autoscale-* flags compose (the decode pool scales)",
+			strings.Join(frontFlags, ", "))
+	}
+	if (len(frontFlags) > 0 || len(scaleFlags) > 0) && !o.disagg && (o.replicas <= 1 || !open) {
+		return fmt.Errorf("the policy stack needs the online fleet router: -replicas > 1 with open-loop -arrivals (or -disagg for the -autoscale-* flags)")
+	}
+	if (len(frontFlags) > 0 || len(scaleFlags) > 0) && fc.Enabled() {
+		return fmt.Errorf("fault injection and the policy stack use different routers; run them separately")
+	}
+	if o.breakerFailures > 0 && o.slo.TTFT <= 0 {
+		return fmt.Errorf("-breaker-failures classifies completions against the TTFT SLO: set -slo-ttft")
+	}
 	if workersSet && !o.disagg && (o.replicas <= 1 || (!open && !fc.Enabled())) {
 		return fmt.Errorf("-workers parallelizes the co-simulated serving paths: it needs -disagg, or -replicas > 1 with open-loop arrivals or fault injection (offline fleet runs already simulate replicas concurrently)")
 	}

@@ -43,6 +43,7 @@ const (
 	PPHB
 )
 
+// String returns the paper's name for the method.
 func (m Method) String() string {
 	switch m {
 	case TPSB:

@@ -354,6 +354,7 @@ func (c *Model) PrefillBottleneck(plan model.PipelinePlan, b PrefillBatch) float
 	return max
 }
 
+// String summarizes the calibrated deployment.
 func (c *Model) String() string {
 	return fmt.Sprintf("costmodel(%s on %s)", c.Spec.Name, c.Node.Name)
 }

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The acceptance bar for the autoscaling study on the quick config:
+// elastic provisioning must come in at or under the static-peak GPU
+// bill while matching its goodput.
+func TestAutoscaleFrontier(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Autoscale(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 deployments, got %d", len(rows))
+	}
+	byName := map[string]AutoscaleRow{}
+	for _, r := range rows {
+		byName[r.Deployment] = r
+		if r.GPUHours <= 0 {
+			t.Errorf("%s: non-positive GPU-hours %.3f", r.Deployment, r.GPUHours)
+		}
+		if r.Report.Requests != len(env.Requests) {
+			t.Errorf("%s: finished %d of %d requests", r.Deployment, r.Report.Requests, len(env.Requests))
+		}
+	}
+	peak, mean, elastic := byName["static-peak"], byName["static-mean"], byName["elastic"]
+	if elastic.GPUHours > peak.GPUHours {
+		t.Errorf("elastic GPU-hours %.2f exceed static-peak %.2f", elastic.GPUHours, peak.GPUHours)
+	}
+	if elastic.Report.Latency.Goodput() < peak.Report.Latency.Goodput() {
+		t.Errorf("elastic goodput %.3f below static-peak %.3f",
+			elastic.Report.Latency.Goodput(), peak.Report.Latency.Goodput())
+	}
+	if !elastic.Report.Autoscale.Any() || elastic.Report.Autoscale.ScaleUps == 0 {
+		t.Errorf("elastic run recorded no autoscale activity: %+v", elastic.Report.Autoscale)
+	}
+	// The diurnal peak must actually stress the mean fleet, or the
+	// study degenerates into three idle deployments.
+	if mean.Report.Latency.TTFTP99 <= peak.Report.Latency.TTFTP99 {
+		t.Errorf("static-mean ttft p99 %.2f not above static-peak %.2f — trace too gentle",
+			mean.Report.Latency.TTFTP99, peak.Report.Latency.TTFTP99)
+	}
+
+	out := FormatAutoscale(rows)
+	for _, want := range []string{"static-peak", "static-mean", "elastic", "gpu-hours", "goodput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatAutoscale missing %q:\n%s", want, out)
+		}
+	}
+}

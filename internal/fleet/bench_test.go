@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -44,6 +45,29 @@ func BenchmarkOnlineFleet(b *testing.B) {
 			b.Fatal(err)
 		}
 		res, err := RunOnline(fastConfig(2), 4, p, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Report.OutputThroughput(), "tok/s")
+			b.ReportMetric(res.Report.Latency.TTFTP99, "ttft-p99-s")
+		}
+	}
+}
+
+// BenchmarkOnlineFleetInactivePolicy is BenchmarkOnlineFleet with an
+// attached-but-inactive policy stack: the elastic entry point must
+// delegate straight to the plain online router, so this benchmark
+// tracking BenchmarkOnlineFleet proves the hot path is unchanged.
+func BenchmarkOnlineFleetInactivePolicy(b *testing.B) {
+	b.ReportAllocs()
+	reqs := workload.StampArrivals(smallTrace(5000, 1), workload.Poisson{Rate: 200}, 7)
+	for i := 0; i < b.N; i++ {
+		p, err := New(PredictedCost, Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunOnlineElastic(fastConfig(2), 4, p, reqs, &policy.Stack{})
 		if err != nil {
 			b.Fatal(err)
 		}

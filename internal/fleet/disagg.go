@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -42,6 +43,14 @@ type DisaggConfig struct {
 	// least AutoWorkerThreshold replicas. Reports are byte-identical
 	// across worker counts.
 	Workers int
+	// Stack attaches a policy stack to the deployment. Disaggregated
+	// serving honors only the Autoscaler component, scoped to the
+	// decode pool: DecodeReplicas is the provisioned pool the
+	// autoscaler breathes inside (its Max must fit), and hand-off
+	// placement skips inactive decode replicas. A nil stack — or one
+	// without an autoscaler — keeps the fleet static and takes the
+	// exact pre-policy code path, byte for byte.
+	Stack *policy.Stack
 }
 
 // Validate reports a configuration error, if any.
@@ -49,6 +58,12 @@ func (dc DisaggConfig) Validate() error {
 	if dc.PrefillReplicas <= 0 || dc.DecodeReplicas <= 0 {
 		return fmt.Errorf("fleet: disagg pools %dP+%dD (both must be positive)",
 			dc.PrefillReplicas, dc.DecodeReplicas)
+	}
+	if dc.Stack != nil && dc.Stack.Autoscaler != nil {
+		if m := dc.Stack.Autoscaler.Config().Max; m > dc.DecodeReplicas {
+			return fmt.Errorf("fleet: decode autoscaler Max %d exceeds provisioned decode replicas %d",
+				m, dc.DecodeReplicas)
+		}
 	}
 	return nil
 }
@@ -155,6 +170,11 @@ type disaggRouter struct {
 	// queuedPrefill holds origins waiting for a live prefill replica.
 	queuedPrefill []int
 	fstats        metrics.FaultStats
+
+	// dpool owns the decode pool's elastic lifecycle when
+	// DisaggConfig.Stack carries an autoscaler; nil keeps the pool
+	// static on the exact pre-policy code paths.
+	dpool *elasticPool
 }
 
 // RunDisagg serves an arrival-stamped trace on a disaggregated fleet:
@@ -257,6 +277,13 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 		ro.attempts = make([]int, len(reqs))
 		ro.droppedReason = make([]string, len(reqs))
 	}
+	if dc.Stack != nil && dc.Stack.Autoscaler != nil {
+		coldStart := dc.Stack.Autoscaler.Config().ColdStart
+		if coldStart == 0 {
+			coldStart = faults.WeightReloadTime(cfg.Node, cfg.Spec, cfg.World)
+		}
+		ro.dpool = newElasticPool(dc.Stack.Autoscaler, dc.DecodeReplicas, coldStart)
+	}
 	for i := range ro.prefill {
 		i := i
 		ro.prefill[i].SetOnFinish(func(local int) { ro.prefillFinished(i, local) })
@@ -285,6 +312,9 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 			fab.ctl.AtFunc(sim.Time(c.At), disaggCrashEvent, ro, ci, 0)
 			fab.ctl.AtFunc(sim.Time(c.RestartAt), disaggRestoreEvent, ro, ci, 0)
 		}
+	}
+	if ro.dpool != nil {
+		fab.ctl.AtFunc(ro.dpool.tickInterval(), dtickEvent, ro, 0, 0)
 	}
 	fab.start()
 	defer fab.stopWorkers()
@@ -328,8 +358,66 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 	res, err := ro.assemble(cfg, dc, results)
 	if err == nil {
 		res.Steps = fab.Steps()
+		if ro.dpool != nil {
+			res.Report.Autoscale = ro.dpool.finish(res.Report.Elapsed, cfg.World)
+		}
 	}
 	return res, err
+}
+
+// dtickEvent is one decode-pool autoscaler evaluation on the control
+// timeline. The decode queue signal counts resident decode requests
+// plus hand-offs still waiting for headroom; TTFT/goodput carry no
+// decode-side meaning, so they stay at their neutral values.
+func dtickEvent(ctx any, _, _ int) {
+	ro := ctx.(*disaggRouter)
+	if ro.err != nil {
+		return
+	}
+	now := float64(ro.ctl.Now())
+	ro.dpool.reapDrains()
+	ro.dpool.stats.Ticks++
+	var s policy.Signals
+	s.Active, s.Warming = ro.dpool.counts()
+	queued := len(ro.pending)
+	for i := range ro.decode {
+		queued += ro.dOut[i].Requests
+	}
+	if s.Active > 0 {
+		s.QueuePerReplica = float64(queued) / float64(s.Active)
+	} else {
+		s.QueuePerReplica = float64(queued)
+	}
+	s.Goodput = 1
+	outstanding := func(i int) int { return ro.dOut[i].Requests }
+	warm := func(k int) {
+		ro.ctl.AtFunc(sim.Time(now+ro.dpool.coldStart), dactivateEvent, ro, k, 0)
+	}
+	ro.dpool.scale(ro.dpool.as.Decide(now, s), now, outstanding, warm)
+	// Keep ticking while any request is unresolved. A handed-off
+	// request is counted once by its prefill engine and once at its
+	// real decode finish, so subtract the hand-off count.
+	finished := -ro.handoffs
+	for _, e := range ro.prefill {
+		finished += e.NumFinished()
+	}
+	for _, e := range ro.decode {
+		finished += e.NumFinished()
+	}
+	if finished+ro.fstats.Dropped < len(ro.reqs) {
+		ro.ctl.AtFunc(ro.ctl.Now()+ro.dpool.tickInterval(), dtickEvent, ro, 0, 0)
+	}
+}
+
+// dactivateEvent completes one decode-pool scale-up and immediately
+// retries queued hand-offs against the new headroom.
+func dactivateEvent(ctx any, k, _ int) {
+	ro := ctx.(*disaggRouter)
+	if ro.err != nil {
+		return
+	}
+	ro.dpool.activate(k)
+	ro.drainPending()
 }
 
 // disaggArrivalEvent fires at a request's arrival instant (AtFunc: ctx
@@ -482,7 +570,7 @@ func (ro *disaggRouter) place(item int) bool {
 	ro.cand = ro.cand[:0]
 	loads := ro.loads[:0]
 	for i := range ro.decode {
-		if !ro.decode[i].Alive() || !ro.decode[i].CanImportKV(it.h.KV) {
+		if !ro.dpool.routable(i) || !ro.decode[i].Alive() || !ro.decode[i].CanImportKV(it.h.KV) {
 			continue
 		}
 		l := ro.dOut[i]
@@ -529,6 +617,9 @@ func (ro *disaggRouter) decodeFinished(replica, local int) {
 	ro.retireDecode(replica, local)
 	if ro.fin != nil {
 		ro.fin[ro.dShards[replica].Origin[local]]++
+	}
+	if ro.dpool != nil && ro.dOut[replica].Requests == 0 {
+		ro.dpool.noteDrained(replica, float64(ro.decode[replica].Now()))
 	}
 	ro.fab.markFinish(len(ro.prefill) + replica)
 }

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+func decodeScalerStack(t *testing.T, maxDecode int) *policy.Stack {
+	t.Helper()
+	as, err := policy.NewAutoscaler(policy.AutoscalerConfig{
+		Min: 1, Max: maxDecode, Interval: 0.02,
+		ScaleUpQueue: 2, ScaleDownQueue: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &policy.Stack{Autoscaler: as}
+}
+
+// A stack without an autoscaler must take the exact RunDisagg code
+// path: reports and records byte-identical, at one worker and at four.
+func TestParallelDisaggElasticInactiveStackByteIdentical(t *testing.T) {
+	cfg := fastConfig(2)
+	reqs := workload.StampArrivals(smallTrace(250, 7), workload.Poisson{Rate: 500}, 13)
+	for _, workers := range []int{1, 4} {
+		want, err := RunDisagg(cfg, DisaggConfig{PrefillReplicas: 2, DecodeReplicas: 2, Workers: workers}, reqs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, stack := range []*policy.Stack{nil, {}, {Admission: policy.NewTokenBucket(1, 1)}} {
+			dc := DisaggConfig{PrefillReplicas: 2, DecodeReplicas: 2, Workers: workers, Stack: stack}
+			got, err := RunDisagg(cfg, dc, reqs)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !bytes.Equal(fullJSON(t, want.Report, want.Records), fullJSON(t, got.Report, got.Records)) {
+				t.Fatalf("workers=%d: autoscaler-free stack diverges from RunDisagg", workers)
+			}
+		}
+	}
+}
+
+// Decode-pool autoscale interventions execute on the control timeline,
+// so elastic disagg reports are byte-identical across worker counts.
+func TestParallelDisaggElasticByteIdenticalToSequential(t *testing.T) {
+	cfg := fastConfig(2)
+	reqs := workload.StampArrivals(smallTrace(300, 9), workload.Poisson{Rate: 800}, 21)
+	run := func(workers int) []byte {
+		dc := DisaggConfig{PrefillReplicas: 2, DecodeReplicas: 4, Workers: workers, Stack: decodeScalerStack(t, 4)}
+		res, err := RunDisagg(cfg, dc, reqs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fullJSON(t, res.Report, res.Records)
+	}
+	seq := run(1)
+	for _, w := range workerSweep {
+		if got := run(w); !bytes.Equal(seq, got) {
+			t.Errorf("workers=%d diverges from sequential:\n%s\n%s", w, seq, got)
+		}
+	}
+}
+
+// The decode pool must actually breathe under a bursty trace, and the
+// provisioned decode GPU-seconds must come in under the static bill.
+func TestDisaggDecodeAutoscalerBreathes(t *testing.T) {
+	cfg := fastConfig(2)
+	reqs := workload.StampArrivals(smallTrace(400, 11), workload.Poisson{Rate: 1500}, 19)
+	dc := DisaggConfig{PrefillReplicas: 2, DecodeReplicas: 4, Stack: decodeScalerStack(t, 4)}
+	res, err := RunDisagg(cfg, dc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Requests != len(reqs) {
+		t.Fatalf("finished %d of %d requests", res.Report.Requests, len(reqs))
+	}
+	a := res.Report.Autoscale
+	if !a.Any() || a.ScaleUps == 0 || a.PeakReplicas < 2 {
+		t.Fatalf("decode pool never scaled up: %+v", a)
+	}
+	staticDecode := 4.0 * float64(cfg.World) * res.Report.Elapsed
+	if a.GPUSeconds <= 0 || a.GPUSeconds >= staticDecode {
+		t.Fatalf("decode GPU-seconds %.2f not inside (0, static %.2f)", a.GPUSeconds, staticDecode)
+	}
+}
+
+func TestDisaggElasticRejectsOverMax(t *testing.T) {
+	cfg := fastConfig(1)
+	reqs := workload.StampArrivals(smallTrace(10, 3), workload.Poisson{Rate: 100}, 5)
+	dc := DisaggConfig{PrefillReplicas: 1, DecodeReplicas: 2, Stack: decodeScalerStack(t, 4)}
+	if _, err := RunDisagg(cfg, dc, reqs); err == nil {
+		t.Fatal("decode autoscaler Max above provisioned decode replicas must be rejected")
+	}
+}

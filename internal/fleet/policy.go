@@ -151,24 +151,30 @@ func init() {
 
 type roundRobin struct{ next int }
 
+// Name returns RoundRobin.
 func (*roundRobin) Name() string { return RoundRobin }
 
+// Pick cycles through the replicas in index order.
 func (p *roundRobin) Pick(_ workload.Request, loads []Load) int {
 	i := p.next % len(loads)
 	p.next = i + 1
 	return i
 }
 
+// Cost is the known prefill work (the request's input length).
 func (*roundRobin) Cost(r workload.Request) float64 { return float64(r.InputLen) }
 
 type random struct{ rng *rand.Rand }
 
+// Name returns Random.
 func (*random) Name() string { return Random }
 
+// Pick draws a replica uniformly from the policy's seeded generator.
 func (p *random) Pick(_ workload.Request, loads []Load) int {
 	return p.rng.Intn(len(loads))
 }
 
+// Cost is the known prefill work (the request's input length).
 func (*random) Cost(r workload.Request) float64 { return float64(r.InputLen) }
 
 // argminCost returns the replica with the least accumulated cost,
@@ -186,14 +192,18 @@ func argminCost(loads []Load) int {
 
 type leastWork struct{}
 
+// Name returns LeastWork.
 func (leastWork) Name() string { return LeastWork }
 
+// Pick chooses the replica with the least accumulated cost.
 func (leastWork) Pick(_ workload.Request, loads []Load) int { return argminCost(loads) }
 
+// Cost is the known prefill work (the request's input length).
 func (leastWork) Cost(r workload.Request) float64 { return float64(r.InputLen) }
 
 type prefixAffinity struct{}
 
+// Name returns PrefixAffinity.
 func (prefixAffinity) Name() string { return PrefixAffinity }
 
 // Pick chooses the replica holding the most of the request's shared
@@ -220,6 +230,7 @@ func (prefixAffinity) Cost(r workload.Request) float64 { return float64(r.InputL
 
 type decodeAffinity struct{ pred core.LenPredictor }
 
+// Name returns DecodeAffinity.
 func (*decodeAffinity) Name() string { return DecodeAffinity }
 
 // Pick ranks replicas for a decode-pool admission: the warmest resident
@@ -253,10 +264,14 @@ func (p *decodeAffinity) Cost(r workload.Request) float64 {
 
 type predictedCost struct{ pred core.LenPredictor }
 
+// Name returns PredictedCost.
 func (*predictedCost) Name() string { return PredictedCost }
 
+// Pick chooses the replica with the least accumulated predicted cost.
 func (*predictedCost) Pick(_ workload.Request, loads []Load) int { return argminCost(loads) }
 
+// Cost is the full predicted footprint: known prefill work plus the
+// output-length estimate.
 func (p *predictedCost) Cost(r workload.Request) float64 {
 	return float64(r.InputLen + p.pred.PredictLen(r))
 }

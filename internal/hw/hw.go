@@ -31,6 +31,7 @@ func (g GPU) MemBandwidth() float64 { return g.HBMGBps * 1e9 }
 // are decimal (an "80 GB" A100 has 80e9 bytes of HBM).
 func (g GPU) MemBytes() float64 { return g.MemGB * 1e9 }
 
+// String names the GPU with its memory size.
 func (g GPU) String() string {
 	return fmt.Sprintf("%s (%.1f TFLOPS fp16, %.0f GB/s, %.0f GB)", g.Name, g.FP16TFLOPS, g.HBMGBps, g.MemGB)
 }

@@ -77,6 +77,7 @@ func (s SLO) Met(r RequestRecord) bool {
 	return true
 }
 
+// String renders the enabled objective components.
 func (s SLO) String() string {
 	if !s.Enabled() {
 		return "none"
@@ -133,6 +134,7 @@ func (d LatencyDigest) Goodput() float64 {
 	return float64(d.SLOMet) / float64(d.Requests)
 }
 
+// String renders the digest's percentile summary on one line.
 func (d LatencyDigest) String() string {
 	return fmt.Sprintf("ttft p50/p99 %.2f/%.2fs, tpot p50/p99 %.0f/%.0fms, e2e p50/p99 %.1f/%.1fs, goodput %.1f%% (slo %s)",
 		d.TTFTP50, d.TTFTP99, 1e3*d.TPOTP50, 1e3*d.TPOTP99, d.E2EP50, d.E2EP99, 100*d.Goodput(), d.SLO)

@@ -119,6 +119,7 @@ const (
 	PhaseDecode
 )
 
+// String names the execution phase.
 func (p Phase) String() string {
 	if p == PhasePrefill {
 		return "prefill"
@@ -209,6 +210,15 @@ type Report struct {
 	// Faults accounts injected failures and the recovery work they
 	// forced. All-zero (the default) for fault-free runs.
 	Faults FaultStats
+
+	// Autoscale accounts elastic fleet-size changes and the GPU time
+	// they saved or spent. All-zero (the default) for static fleets.
+	Autoscale AutoscaleStats
+
+	// Admission accounts front-door policy decisions (shedding,
+	// retries, breaker activity, preemption). All-zero (the default)
+	// when no policy stack is attached.
+	Admission AdmissionStats
 }
 
 // FaultStats accounts fault injection and recovery in one run. The
@@ -254,6 +264,75 @@ func (f *FaultStats) Add(o FaultStats) {
 	f.LostOutputTokens += o.LostOutputTokens
 }
 
+// AutoscaleStats accounts one run's elastic replica-count activity.
+// The fields are plain scalars so reports stay comparable (and JSON
+// round-trips byte-identically in the determinism suite).
+type AutoscaleStats struct {
+	// Ticks counts autoscaler evaluations executed.
+	Ticks int
+	// ScaleUps and ScaleDowns count replicas added / drained (a Step=2
+	// action counts 2).
+	ScaleUps   int
+	ScaleDowns int
+	// PeakReplicas is the largest provisioned (active+warming) count.
+	PeakReplicas int
+	// GPUSeconds sums, over replicas, GPUs x virtual seconds the
+	// replica was provisioned (warming and draining included) — the
+	// cost axis of the elastic-vs-static frontier.
+	GPUSeconds float64
+	// ColdStartSeconds sums the modeled weight-load delays scale-ups
+	// paid before their replica became routable.
+	ColdStartSeconds float64
+}
+
+// Any reports whether any autoscale activity was recorded.
+func (a AutoscaleStats) Any() bool { return a != AutoscaleStats{} }
+
+// Add accumulates o into a (fleet-level merges). PeakReplicas takes
+// the max; everything else sums.
+func (a *AutoscaleStats) Add(o AutoscaleStats) {
+	a.Ticks += o.Ticks
+	a.ScaleUps += o.ScaleUps
+	a.ScaleDowns += o.ScaleDowns
+	if o.PeakReplicas > a.PeakReplicas {
+		a.PeakReplicas = o.PeakReplicas
+	}
+	a.GPUSeconds += o.GPUSeconds
+	a.ColdStartSeconds += o.ColdStartSeconds
+}
+
+// AdmissionStats accounts one run's front-door policy decisions.
+type AdmissionStats struct {
+	// Shed counts arrivals refused by the token bucket (each refusal
+	// counts, so one request can shed several times while retrying).
+	Shed int
+	// Retries counts scheduled re-admission attempts.
+	Retries int
+	// Dropped counts requests abandoned after exhausting the retry
+	// budget (or shed with no retry policy attached).
+	Dropped int
+	// BreakerTrips counts circuit breakers opening; BreakerSkips
+	// counts routing decisions that had to exclude an open replica.
+	BreakerTrips int
+	BreakerSkips int
+	// Preemptions counts low-priority requests evicted to recompute by
+	// a high-priority arrival.
+	Preemptions int
+}
+
+// Any reports whether any admission-policy activity was recorded.
+func (a AdmissionStats) Any() bool { return a != AdmissionStats{} }
+
+// Add accumulates o into a (fleet-level merges).
+func (a *AdmissionStats) Add(o AdmissionStats) {
+	a.Shed += o.Shed
+	a.Retries += o.Retries
+	a.Dropped += o.Dropped
+	a.BreakerTrips += o.BreakerTrips
+	a.BreakerSkips += o.BreakerSkips
+	a.Preemptions += o.Preemptions
+}
+
 // OutputThroughput returns generated tokens per second, the paper's
 // headline metric.
 func (r Report) OutputThroughput() float64 {
@@ -281,6 +360,7 @@ func (r Report) TotalThroughput() float64 {
 	return float64(r.InputTokens+r.OutputTokens) / r.Elapsed
 }
 
+// String renders the report's headline numbers on one line.
 func (r Report) String() string {
 	return fmt.Sprintf("%s %s+%s x%d: %d reqs in %.1fs, %.0f tok/s out (%.0f total), util %.1f%%, %d switches",
 		r.Scheduler, r.Node, r.Model, r.GPUs, r.Requests, r.Elapsed,

@@ -1,0 +1,172 @@
+package policy
+
+import "testing"
+
+func mustAutoscaler(t *testing.T, cfg AutoscalerConfig) *Autoscaler {
+	t.Helper()
+	a, err := NewAutoscaler(cfg)
+	if err != nil {
+		t.Fatalf("NewAutoscaler: %v", err)
+	}
+	return a
+}
+
+func TestAutoscalerConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  AutoscalerConfig
+		ok   bool
+	}{
+		{"valid", AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ScaleDownQueue: 2}, true},
+		{"min zero", AutoscalerConfig{Min: 0, Max: 4, Interval: 10, ScaleUpQueue: 8}, false},
+		{"max below min", AutoscalerConfig{Min: 3, Max: 2, Interval: 10, ScaleUpQueue: 8}, false},
+		{"initial outside range", AutoscalerConfig{Min: 2, Max: 4, Initial: 1, Interval: 10, ScaleUpQueue: 8}, false},
+		{"no interval", AutoscalerConfig{Min: 1, Max: 4, ScaleUpQueue: 8}, false},
+		{"down watermark above up", AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 4, ScaleDownQueue: 5}, false},
+		{"negative coldstart", AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ColdStart: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestAutoscalerScaleUpOnQueue(t *testing.T) {
+	a := mustAutoscaler(t, AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ScaleDownQueue: 2})
+	if got := a.Decide(10, Signals{QueuePerReplica: 12, Active: 1}); got != 1 {
+		t.Fatalf("Decide under overload = %d, want +1", got)
+	}
+	// Clamp at Max even with Step overshoot.
+	b := mustAutoscaler(t, AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ScaleDownQueue: 2, Step: 3})
+	if got := b.Decide(10, Signals{QueuePerReplica: 12, Active: 3}); got != 1 {
+		t.Fatalf("Decide near Max with Step 3 = %d, want clamp to +1", got)
+	}
+	if got := b.Decide(20, Signals{QueuePerReplica: 12, Active: 4}); got != 0 {
+		t.Fatalf("Decide at Max = %d, want 0", got)
+	}
+}
+
+func TestAutoscalerScaleUpOnTTFT(t *testing.T) {
+	a := mustAutoscaler(t, AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ScaleDownQueue: 2, TTFTTarget: 10})
+	if got := a.Decide(10, Signals{QueuePerReplica: 1, TTFTP99: 25, Active: 1}); got != 1 {
+		t.Fatalf("Decide under TTFT violation = %d, want +1", got)
+	}
+}
+
+func TestAutoscalerUpCooldown(t *testing.T) {
+	a := mustAutoscaler(t, AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ScaleDownQueue: 2, UpCooldown: 30})
+	overload := Signals{QueuePerReplica: 20, Active: 1}
+	if got := a.Decide(10, overload); got != 1 {
+		t.Fatalf("first Decide = %d, want +1", got)
+	}
+	overload.Warming = 1
+	if got := a.Decide(20, overload); got != 0 {
+		t.Fatalf("Decide inside cooldown = %d, want 0", got)
+	}
+	if got := a.Decide(40, overload); got != 1 {
+		t.Fatalf("Decide after cooldown = %d, want +1", got)
+	}
+}
+
+func TestAutoscalerScaleDown(t *testing.T) {
+	a := mustAutoscaler(t, AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ScaleDownQueue: 2})
+	if got := a.Decide(10, Signals{QueuePerReplica: 0.25, Active: 4}); got != -1 {
+		t.Fatalf("Decide under idle fleet = %d, want -1", got)
+	}
+	// Never below Min.
+	if got := a.Decide(20, Signals{QueuePerReplica: 0, Active: 1}); got != 0 {
+		t.Fatalf("Decide at Min = %d, want 0", got)
+	}
+	// A shrink that would push queue back over the low-water mark holds.
+	if got := a.Decide(30, Signals{QueuePerReplica: 1.9, Active: 2}); got != 0 {
+		t.Fatalf("Decide with projected overload after shrink = %d, want 0", got)
+	}
+	// Warming replicas block scale-down (a decision is already in flight).
+	if got := a.Decide(40, Signals{QueuePerReplica: 0, Active: 2, Warming: 1}); got != 0 {
+		t.Fatalf("Decide while warming = %d, want 0", got)
+	}
+}
+
+func TestAutoscalerDownCooldownAndTTFTGuard(t *testing.T) {
+	a := mustAutoscaler(t, AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ScaleDownQueue: 4, TTFTTarget: 10, DownCooldown: 60})
+	idle := Signals{QueuePerReplica: 0.1, Active: 4}
+	if got := a.Decide(10, idle); got != -1 {
+		t.Fatalf("first scale-down = %d, want -1", got)
+	}
+	idle.Active = 3
+	if got := a.Decide(20, idle); got != 0 {
+		t.Fatalf("scale-down inside cooldown = %d, want 0", got)
+	}
+	// Unhealthy tail blocks scale-down even after the cooldown.
+	if got := a.Decide(100, Signals{QueuePerReplica: 0.1, TTFTP99: 50, Active: 3}); got != 1 {
+		t.Fatalf("Decide with bad TTFT = %d, want +1 (overload vote)", got)
+	}
+}
+
+func TestAutoscalerInitialReplicas(t *testing.T) {
+	a := mustAutoscaler(t, AutoscalerConfig{Min: 2, Max: 6, Interval: 10, ScaleUpQueue: 8})
+	if got := a.InitialReplicas(); got != 2 {
+		t.Fatalf("InitialReplicas = %d, want Min (2)", got)
+	}
+	b := mustAutoscaler(t, AutoscalerConfig{Min: 2, Max: 6, Initial: 4, Interval: 10, ScaleUpQueue: 8})
+	if got := b.InitialReplicas(); got != 4 {
+		t.Fatalf("InitialReplicas = %d, want Initial (4)", got)
+	}
+}
+
+func TestAutoscalerDeterministic(t *testing.T) {
+	ticks := []Signals{
+		{QueuePerReplica: 10, Active: 1},
+		{QueuePerReplica: 10, Active: 1, Warming: 1},
+		{QueuePerReplica: 5, Active: 2},
+		{QueuePerReplica: 0.2, Active: 2},
+		{QueuePerReplica: 0.2, Active: 1},
+	}
+	run := func() []int {
+		a := mustAutoscaler(t, AutoscalerConfig{Min: 1, Max: 4, Interval: 10, ScaleUpQueue: 8, ScaleDownQueue: 2})
+		out := make([]int, len(ticks))
+		for i, s := range ticks {
+			out[i] = a.Decide(float64(10*(i+1)), s)
+		}
+		return out
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("decision %d differs across identical runs: %d vs %d", i, x[i], y[i])
+		}
+	}
+}
+
+func TestStackActive(t *testing.T) {
+	var nilStack *Stack
+	if nilStack.Active() {
+		t.Fatal("nil stack reported active")
+	}
+	if (&Stack{}).Active() {
+		t.Fatal("empty stack reported active")
+	}
+	if !(&Stack{Admission: NewTokenBucket(1, 1)}).Active() {
+		t.Fatal("stack with admission reported inactive")
+	}
+	a := mustAutoscaler(t, AutoscalerConfig{Min: 1, Max: 2, Interval: 10, ScaleUpQueue: 8})
+	if !(&Stack{Autoscaler: a}).Active() {
+		t.Fatal("stack with autoscaler reported inactive")
+	}
+}
+
+func TestPreemptionEvictable(t *testing.T) {
+	if got := (PreemptionConfig{}).Evictable(); got != 1 {
+		t.Fatalf("default Evictable = %d, want 1", got)
+	}
+	if got := (PreemptionConfig{EvictTier: 3}).Evictable(); got != 3 {
+		t.Fatalf("Evictable = %d, want 3", got)
+	}
+}

@@ -1,0 +1,161 @@
+package policy
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Circuit breaker states: Closed passes traffic, Open short-circuits
+// it, HalfOpen passes a single probe to test recovery.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String renders the state for logs and test failures.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// BreakerConfig parameterizes a replica circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open. Zero defaults to 5.
+	FailureThreshold int
+	// Cooldown is how long (virtual seconds) the breaker stays open
+	// before admitting a half-open probe. Zero defaults to 30 s.
+	Cooldown float64
+	// HalfOpenSuccesses is the consecutive probe successes needed to
+	// close again. Zero defaults to 2.
+	HalfOpenSuccesses int
+}
+
+// withDefaults fills zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 2
+	}
+	return c
+}
+
+// Breaker is one replica's circuit breaker: closed until
+// FailureThreshold consecutive failures, then open for Cooldown
+// virtual seconds, then half-open — one probe request at a time — and
+// closed again after HalfOpenSuccesses consecutive probe successes (a
+// probe failure reopens it). All transitions are pure functions of the
+// virtual-time signal sequence, so breaker behavior is deterministic.
+type Breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	succ     int
+	openedAt float64
+	probes   int // probes admitted and not yet resolved
+	trips    int
+}
+
+// NewBreaker returns a closed breaker under cfg (zero fields take the
+// documented defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the breaker position at virtual time t (an open breaker
+// past its cooldown reports — and becomes — half-open).
+func (b *Breaker) State(t float64) BreakerState {
+	if b.state == Open && t-b.openedAt >= b.cfg.Cooldown {
+		b.state = HalfOpen
+		b.succ = 0
+		b.probes = 0
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int { return b.trips }
+
+// Routable reports whether Allow would admit a request at virtual time
+// t, without consuming the half-open probe slot. Routers use it to
+// filter candidates before picking one, then call Allow on the pick.
+func (b *Breaker) Routable(t float64) bool {
+	switch b.State(t) {
+	case Closed:
+		return true
+	case HalfOpen:
+		return b.probes == 0
+	default:
+		return false
+	}
+}
+
+// Allow reports whether a request may route to this replica at virtual
+// time t. Closed always allows; open allows nothing until the cooldown
+// elapses; half-open allows one probe at a time.
+func (b *Breaker) Allow(t float64) bool {
+	switch b.State(t) {
+	case Closed:
+		return true
+	case HalfOpen:
+		if b.probes > 0 {
+			return false
+		}
+		b.probes++
+		return true
+	default:
+		return false
+	}
+}
+
+// OnSuccess records a successful completion at virtual time t.
+func (b *Breaker) OnSuccess(t float64) {
+	switch b.State(t) {
+	case Closed:
+		b.fails = 0
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		b.succ++
+		if b.succ >= b.cfg.HalfOpenSuccesses {
+			b.state = Closed
+			b.fails = 0
+			b.succ = 0
+		}
+	}
+}
+
+// OnFailure records a failed (SLO-violating or aborted) completion at
+// virtual time t.
+func (b *Breaker) OnFailure(t float64) {
+	switch b.State(t) {
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.open(t)
+		}
+	case HalfOpen:
+		b.open(t)
+	}
+}
+
+// open trips the breaker at t.
+func (b *Breaker) open(t float64) {
+	b.state = Open
+	b.openedAt = t
+	b.fails = 0
+	b.succ = 0
+	b.probes = 0
+	b.trips++
+}

@@ -1,0 +1,114 @@
+package policy
+
+import "testing"
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 10, HalfOpenSuccesses: 2})
+
+	if got := b.State(0); got != Closed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Two failures: still closed.
+	b.OnFailure(1)
+	b.OnFailure(2)
+	if got := b.State(2); got != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	// A success resets the consecutive-failure count.
+	b.OnSuccess(3)
+	b.OnFailure(4)
+	b.OnFailure(5)
+	if got := b.State(5); got != Closed {
+		t.Fatalf("success should reset failures; state = %v, want closed", got)
+	}
+	// Third consecutive failure trips it open.
+	b.OnFailure(6)
+	if got := b.State(6); got != Open {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	if b.Allow(7) {
+		t.Fatal("open breaker allowed a request inside cooldown")
+	}
+	// Cooldown elapses: half-open, one probe at a time.
+	if got := b.State(16); got != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if !b.Allow(16) {
+		t.Fatal("half-open breaker refused the first probe")
+	}
+	if b.Allow(16.5) {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	// First probe succeeds; need one more to close.
+	b.OnSuccess(17)
+	if got := b.State(17); got != HalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", got)
+	}
+	if !b.Allow(17) {
+		t.Fatal("half-open breaker refused the second probe after the first resolved")
+	}
+	b.OnSuccess(18)
+	if got := b.State(18); got != Closed {
+		t.Fatalf("state after %d probe successes = %v, want closed", 2, got)
+	}
+	if !b.Allow(19) {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 5, HalfOpenSuccesses: 1})
+	b.OnFailure(0)
+	if got := b.State(0); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if !b.Allow(5) {
+		t.Fatal("half-open breaker refused its probe")
+	}
+	b.OnFailure(6)
+	if got := b.State(6); got != Open {
+		t.Fatalf("state after failed probe = %v, want open again", got)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	// Second cooldown, successful probe closes.
+	if !b.Allow(11) {
+		t.Fatal("half-open breaker refused probe after second cooldown")
+	}
+	b.OnSuccess(12)
+	if got := b.State(12); got != Closed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 4; i++ {
+		b.OnFailure(float64(i))
+	}
+	if got := b.State(4); got != Closed {
+		t.Fatalf("state after 4 failures under default threshold 5 = %v, want closed", got)
+	}
+	b.OnFailure(4)
+	if got := b.State(4); got != Open {
+		t.Fatalf("state after 5 failures = %v, want open", got)
+	}
+	if got := b.State(4 + 29); got != Open {
+		t.Fatalf("state inside default 30 s cooldown = %v, want open", got)
+	}
+	if got := b.State(4 + 30); got != HalfOpen {
+		t.Fatalf("state after default cooldown = %v, want half-open", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if got := s.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package policy
+
+import "math/rand"
+
+// Backoff is a deterministic exponential-backoff schedule with seeded
+// jitter: attempt k (1-based) waits Base*Factor^(k-1) seconds, capped
+// at Max, stretched by a uniform jitter drawn from the seeded RNG.
+// Draws happen in Delay-call order, which the router makes canonical
+// (control events execute in time order), so retry schedules are
+// bit-reproducible for a fixed seed.
+type Backoff struct {
+	base        float64
+	factor      float64
+	max         float64
+	jitter      float64
+	maxAttempts int
+	rng         *rand.Rand
+}
+
+// DefaultMaxAttempts bounds admission retries when BackoffConfig leaves
+// MaxAttempts zero.
+const DefaultMaxAttempts = 3
+
+// BackoffConfig parameterizes a Backoff schedule.
+type BackoffConfig struct {
+	// Base is the first delay in seconds. Zero defaults to 1 s.
+	Base float64
+	// Factor multiplies the delay each attempt. Zero defaults to 2.
+	Factor float64
+	// Max caps any single delay. Zero defaults to 60 s.
+	Max float64
+	// Jitter is the fractional spread: each delay is multiplied by a
+	// uniform draw from [1, 1+Jitter]. Zero means no jitter.
+	Jitter float64
+	// MaxAttempts bounds re-admissions before a request is dropped.
+	// Zero defaults to DefaultMaxAttempts.
+	MaxAttempts int
+	// Seed drives the jitter RNG.
+	Seed int64
+}
+
+// NewBackoff builds the schedule (zero config fields take the
+// documented defaults).
+func NewBackoff(cfg BackoffConfig) *Backoff {
+	if cfg.Base <= 0 {
+		cfg.Base = 1
+	}
+	if cfg.Factor <= 0 {
+		cfg.Factor = 2
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 60
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	return &Backoff{
+		base:        cfg.Base,
+		factor:      cfg.Factor,
+		max:         cfg.Max,
+		jitter:      cfg.Jitter,
+		maxAttempts: cfg.MaxAttempts,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// MaxAttempts returns the retry budget.
+func (b *Backoff) MaxAttempts() int { return b.maxAttempts }
+
+// Delay returns the wait before re-admission attempt number attempt
+// (1-based). Attempts at or below zero are treated as the first.
+func (b *Backoff) Delay(attempt int) float64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.base
+	for i := 1; i < attempt; i++ {
+		d *= b.factor
+		if d >= b.max {
+			d = b.max
+			break
+		}
+	}
+	if d > b.max {
+		d = b.max
+	}
+	if b.jitter > 0 {
+		d *= 1 + b.jitter*b.rng.Float64()
+	}
+	return d
+}

@@ -1,0 +1,77 @@
+package policy
+
+import "testing"
+
+func TestBackoffEnvelope(t *testing.T) {
+	b := NewBackoff(BackoffConfig{Base: 1, Factor: 2, Max: 10})
+	want := []float64{1, 2, 4, 8, 10, 10}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := b.Delay(0); got != 1 {
+		t.Fatalf("Delay(0) = %v, want clamp to first attempt (1)", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := NewBackoff(BackoffConfig{Base: 2, Factor: 2, Max: 100, Jitter: 0.5, Seed: 7})
+	for attempt := 1; attempt <= 6; attempt++ {
+		raw := 2.0
+		for i := 1; i < attempt; i++ {
+			raw *= 2
+		}
+		if raw > 100 {
+			raw = 100
+		}
+		got := b.Delay(attempt)
+		if got < raw || got > raw*1.5 {
+			t.Fatalf("Delay(%d) = %v outside jitter envelope [%v, %v]", attempt, got, raw, raw*1.5)
+		}
+	}
+}
+
+func TestBackoffSeededDeterminism(t *testing.T) {
+	mk := func(seed int64) []float64 {
+		b := NewBackoff(BackoffConfig{Base: 1, Factor: 2, Max: 60, Jitter: 0.25, Seed: seed})
+		out := make([]float64, 8)
+		for i := range out {
+			out[i] = b.Delay(i + 1)
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jittered schedules")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(BackoffConfig{})
+	if b.MaxAttempts() != DefaultMaxAttempts {
+		t.Fatalf("MaxAttempts = %d, want %d", b.MaxAttempts(), DefaultMaxAttempts)
+	}
+	if got := b.Delay(1); got != 1 {
+		t.Fatalf("default Delay(1) = %v, want 1", got)
+	}
+	if got := b.Delay(2); got != 2 {
+		t.Fatalf("default Delay(2) = %v, want 2", got)
+	}
+	if got := b.Delay(20); got != 60 {
+		t.Fatalf("default Delay(20) = %v, want cap 60", got)
+	}
+}

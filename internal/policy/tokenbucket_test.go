@@ -1,0 +1,77 @@
+package policy
+
+import "testing"
+
+func TestTokenBucket(t *testing.T) {
+	cases := []struct {
+		name    string
+		rate    float64
+		burst   float64
+		arrives []float64
+		want    []bool
+	}{
+		{
+			name:    "burst then starve",
+			rate:    1,
+			burst:   2,
+			arrives: []float64{0, 0, 0, 0.5, 1.5},
+			want:    []bool{true, true, false, false, true},
+		},
+		{
+			name:    "steady rate admits steady traffic",
+			rate:    2,
+			burst:   1,
+			arrives: []float64{0, 0.5, 1.0, 1.5},
+			want:    []bool{true, true, true, true},
+		},
+		{
+			name:    "refill caps at burst",
+			rate:    10,
+			burst:   2,
+			arrives: []float64{0, 100, 100, 100},
+			want:    []bool{true, true, true, false},
+		},
+		{
+			name:    "sub-token refill accumulates",
+			rate:    0.5,
+			burst:   1,
+			arrives: []float64{0, 1, 2, 2.1},
+			want:    []bool{true, false, true, false},
+		},
+		{
+			name:    "burst below one rounds up",
+			rate:    1,
+			burst:   0.25,
+			arrives: []float64{0, 0, 1},
+			want:    []bool{true, false, true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewTokenBucket(tc.rate, tc.burst)
+			for i, at := range tc.arrives {
+				if got := b.Allow(at); got != tc.want[i] {
+					t.Fatalf("arrival %d at t=%v: Allow = %v, want %v", i, at, got, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTokenBucketDeterministic(t *testing.T) {
+	arrives := []float64{0, 0.1, 0.2, 0.9, 1.0, 1.7, 3.2, 3.3, 3.4, 9}
+	run := func() []bool {
+		b := NewTokenBucket(1.5, 3)
+		out := make([]bool, len(arrives))
+		for i, at := range arrives {
+			out[i] = b.Allow(at)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

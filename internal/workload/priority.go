@@ -1,0 +1,68 @@
+// Priority tiers model mixed serving classes — interactive traffic
+// sharing a fleet with batch/background work. StampPriorities overlays
+// tier labels on any generated trace; the labels are inert everywhere
+// except policy-aware fleet routers, which may preempt low tiers under
+// KV pressure.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PriorityConfig drives StampPriorities.
+type PriorityConfig struct {
+	// Tiers is how many priority classes exist; requests get tiers
+	// 0..Tiers-1 (0 most important). Must be at least 2 — one tier is
+	// the zero default and needs no stamping.
+	Tiers int
+	// HighFraction is the probability a request lands in tier 0. The
+	// remainder spreads uniformly over tiers 1..Tiers-1. Must be in
+	// (0, 1).
+	HighFraction float64
+	// Seed drives the deterministic tier assignment.
+	Seed int64
+}
+
+// Validate reports a configuration error, if any.
+func (c PriorityConfig) Validate() error {
+	if c.Tiers < 2 {
+		return fmt.Errorf("workload: priority Tiers = %d, need >= 2", c.Tiers)
+	}
+	if c.HighFraction <= 0 || c.HighFraction >= 1 {
+		return fmt.Errorf("workload: priority HighFraction = %v, need (0, 1)", c.HighFraction)
+	}
+	return nil
+}
+
+// StampPriorities returns a copy of reqs carrying priority tiers drawn
+// deterministically from cfg.Seed: tier 0 with probability
+// HighFraction, otherwise uniform over the lower tiers. Request order
+// is preserved.
+func StampPriorities(reqs []Request, cfg PriorityConfig) ([]Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := append([]Request(nil), reqs...)
+	for i := range out {
+		if rng.Float64() < cfg.HighFraction {
+			out[i].Priority = 0
+		} else {
+			out[i].Priority = 1 + rng.Intn(cfg.Tiers-1)
+		}
+	}
+	return out, nil
+}
+
+// HasPriorities reports whether any request carries a non-zero tier —
+// i.e. whether priority policies would have anything to act on.
+func HasPriorities(reqs []Request) bool {
+	for i := range reqs {
+		if reqs[i].Priority != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package workload
+
+import "testing"
+
+func TestStampPrioritiesDeterministicAndTiered(t *testing.T) {
+	base := MustGenerate(DefaultConfig(400, 7))
+	cfg := PriorityConfig{Tiers: 3, HighFraction: 0.3, Seed: 11}
+	out, err := StampPriorities(base, cfg)
+	if err != nil {
+		t.Fatalf("StampPriorities: %v", err)
+	}
+	again, err := StampPriorities(base, cfg)
+	if err != nil {
+		t.Fatalf("StampPriorities: %v", err)
+	}
+	if !HasPriorities(out) {
+		t.Fatal("no priorities stamped")
+	}
+	if HasPriorities(base) {
+		t.Fatal("StampPriorities mutated its input")
+	}
+	seen := map[int]int{}
+	for i := range out {
+		if out[i].Priority != again[i].Priority {
+			t.Fatalf("request %d: priority differs across identical stamps", i)
+		}
+		if out[i].Priority < 0 || out[i].Priority >= cfg.Tiers {
+			t.Fatalf("request %d: priority %d outside [0, %d)", i, out[i].Priority, cfg.Tiers)
+		}
+		seen[out[i].Priority]++
+	}
+	for tier := 0; tier < cfg.Tiers; tier++ {
+		if seen[tier] == 0 {
+			t.Fatalf("tier %d never assigned across %d requests", tier, len(out))
+		}
+	}
+}
+
+func TestPriorityConfigValidate(t *testing.T) {
+	bad := []PriorityConfig{
+		{Tiers: 1, HighFraction: 0.5},
+		{Tiers: 2, HighFraction: 0},
+		{Tiers: 2, HighFraction: 1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", cfg)
+		}
+	}
+	if err := (PriorityConfig{Tiers: 2, HighFraction: 0.5}).Validate(); err != nil {
+		t.Fatalf("Validate = %v, want nil", err)
+	}
+}

@@ -45,6 +45,11 @@ type Request struct {
 	// unique — no KV reuse is possible and engines behave exactly as
 	// they do for unstructured traces.
 	PrefixLen int
+	// Priority is the serving tier: 0 is the most important, higher
+	// values matter less. Zero (the generator default) means every
+	// request is top tier and priority policies are inert. Stamp with
+	// StampPriorities; only policy-aware fleet routers read it.
+	Priority int
 }
 
 // TotalLen returns input + output tokens.

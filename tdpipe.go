@@ -25,6 +25,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/policy"
 	"repro/internal/predictor"
 	"repro/internal/workload"
 )
@@ -225,6 +226,85 @@ func RunFleetWorkers(cfg Config, replicas int, policy string, reqs []Request, wo
 // byte-identical across worker counts.
 func RunDisagg(cfg Config, dc DisaggConfig, reqs []Request) (*DisaggResult, error) {
 	return fleet.RunDisagg(cfg, dc, reqs)
+}
+
+// Policy aliases: the elastic autoscaler and the composable front-door
+// serving policies (see RunFleetElastic).
+type (
+	// PolicyStack composes the front-door policies for an elastic fleet
+	// run: token-bucket admission, retry backoff, per-replica circuit
+	// breaking, priority preemption and the autoscaler. Every field is
+	// optional; a nil or empty stack is inactive and takes the exact
+	// RunFleet code path.
+	PolicyStack = policy.Stack
+	// AutoscalerConfig parameterizes the elastic autoscaler: replica
+	// bounds, evaluation cadence, SLO targets and cooldowns.
+	AutoscalerConfig = policy.AutoscalerConfig
+	// BackoffConfig parameterizes seeded exponential retry backoff.
+	BackoffConfig = policy.BackoffConfig
+	// BreakerConfig parameterizes per-replica circuit breaking
+	// (closed -> open -> half-open on TTFT SLO misses).
+	BreakerConfig = policy.BreakerConfig
+	// PreemptionConfig parameterizes priority preemption: high-tier
+	// arrivals evict low-tier KV through the recompute path.
+	PreemptionConfig = policy.PreemptionConfig
+	// PriorityConfig stamps priority tiers on a trace (StampPriorities).
+	PriorityConfig = workload.PriorityConfig
+	// AutoscaleStats is the scaling accounting in Report.Autoscale.
+	AutoscaleStats = metrics.AutoscaleStats
+	// AdmissionStats is the front-door accounting in Report.Admission.
+	AdmissionStats = metrics.AdmissionStats
+)
+
+// NewAutoscaler builds the elastic replica controller; cfg must
+// validate. Leave AutoscalerConfig.ColdStart zero to let the fleet
+// router charge the node's modeled weight-load time per scale-up.
+func NewAutoscaler(cfg AutoscalerConfig) (*policy.Autoscaler, error) {
+	return policy.NewAutoscaler(cfg)
+}
+
+// NewTokenBucket builds a token-bucket admission limiter: rate
+// requests/s refill with the given burst capacity.
+func NewTokenBucket(rate, burst float64) *policy.TokenBucket {
+	return policy.NewTokenBucket(rate, burst)
+}
+
+// NewBackoff builds the seeded retry-delay schedule used for shed
+// requests.
+func NewBackoff(cfg BackoffConfig) *policy.Backoff { return policy.NewBackoff(cfg) }
+
+// StampPriorities returns a copy of reqs carrying priority tiers (0 is
+// most important). With a PolicyStack whose Preemption is set, tier-0
+// arrivals evict lower tiers' KV under memory pressure; unstamped
+// traces behave exactly as before.
+func StampPriorities(reqs []Request, cfg PriorityConfig) ([]Request, error) {
+	return workload.StampPriorities(reqs, cfg)
+}
+
+// HasPriorities reports whether the trace carries priority structure.
+func HasPriorities(reqs []Request) bool { return workload.HasPriorities(reqs) }
+
+// RunFleetElastic serves an arrival-stamped trace on the online fleet
+// router with the policy stack attached: admission shedding and retry
+// at the front door, breaker-aware routing, priority preemption, and
+// mid-run scaling between the autoscaler's bounds (each scale-up pays
+// the node's modeled weight-load cold start; Report.Autoscale carries
+// the provisioned GPU-second bill). Every trace request ends exactly
+// once finished or dropped, with drops accounted in Report.Admission.
+// An inactive stack (nil or empty) takes the exact RunFleet code path.
+func RunFleetElastic(cfg Config, replicas int, policy string, reqs []Request, stack *PolicyStack) (*FleetResult, error) {
+	return RunFleetElasticWorkers(cfg, replicas, policy, reqs, stack, 1)
+}
+
+// RunFleetElasticWorkers is RunFleetElastic sharded across simulation
+// workers (see RunFleetWorkers); policy runs too are byte-identical
+// across worker counts.
+func RunFleetElasticWorkers(cfg Config, replicas int, policyName string, reqs []Request, stack *PolicyStack, workers int) (*FleetResult, error) {
+	p, err := fleet.New(policyName, fleet.Options{Seed: 1, Predictor: cfg.Predictor})
+	if err != nil {
+		return nil, err
+	}
+	return fleet.RunOnlineElasticWorkers(cfg, replicas, p, reqs, stack, workers)
 }
 
 // Fault-injection aliases: seeded failure plans for fleet runs.

@@ -195,6 +195,72 @@ func TestFacadeFaultInjection(t *testing.T) {
 	}
 }
 
+// The facade's policy path: a full stack (admission, retry, breakers,
+// preemption, autoscaler) serves a priority-stamped diurnal trace with
+// exact conservation, Report.Autoscale records the breathing, and an
+// inactive stack reproduces the plain RunFleet report exactly.
+func TestFacadeElasticPolicies(t *testing.T) {
+	trace, err := NewTrace(3000, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(A100, Llama2_70B, 4)
+	cfg.SLO = DefaultSLO()
+	reqs := trace.Sample(300, 7)
+	stamped, err := StampArrivals(reqs, ArrivalConfig{Kind: ArrivalDiurnal, Rate: 8, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped, err = StampPriorities(stamped, PriorityConfig{Tiers: 2, HighFraction: 0.3, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasPriorities(reqs) || !HasPriorities(stamped) {
+		t.Fatal("HasPriorities misclassifies traces")
+	}
+
+	base, err := RunFleet(cfg, 3, FleetLeastWork, stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inactive, err := RunFleetElastic(cfg, 3, FleetLeastWork, stamped, &PolicyStack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report != inactive.Report {
+		t.Errorf("inactive stack diverges from RunFleet:\n%v\n%v", base.Report, inactive.Report)
+	}
+
+	as, err := NewAutoscaler(AutoscalerConfig{
+		Min: 1, Max: 3, Interval: 2, ScaleUpQueue: 4, ScaleDownQueue: 1,
+		TTFTTarget: cfg.SLO.TTFT / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := &PolicyStack{
+		Admission:  NewTokenBucket(40, 8),
+		Retry:      NewBackoff(BackoffConfig{Base: 0.05, MaxAttempts: 3, Seed: 31}),
+		Breaker:    &BreakerConfig{},
+		Preemption: &PreemptionConfig{},
+		Autoscaler: as,
+	}
+	res, err := RunFleetElasticWorkers(cfg, 3, FleetLeastWork, stamped, stack, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Report.Requests + res.Report.Admission.Dropped; got != len(stamped) {
+		t.Errorf("finished %d + dropped %d != %d requests",
+			res.Report.Requests, res.Report.Admission.Dropped, len(stamped))
+	}
+	if !res.Report.Autoscale.Any() {
+		t.Errorf("elastic run recorded no autoscale activity: %+v", res.Report.Autoscale)
+	}
+	if res.Report.Autoscale.GPUSeconds <= 0 {
+		t.Errorf("no GPU-seconds accounted: %+v", res.Report.Autoscale)
+	}
+}
+
 func TestFacadeCatalog(t *testing.T) {
 	if L20.GPU.MemGB != 48 || A100.GPU.MemGB != 80 {
 		t.Error("node catalog wrong")
