@@ -7,7 +7,7 @@ FUZZTIME ?= 30s
 # artifacts accumulate into a perf trajectory).
 BENCH_N ?= local
 
-.PHONY: build vet fmt-check lint-docs test race bench bench-json bench-compare fuzz smoke ci
+.PHONY: build vet fmt-check lint-docs test race chaos bench bench-json bench-compare fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,17 @@ test:
 race:
 	$(GO) test -race ./internal/fleet/... ./internal/core/...
 	$(GO) test -race -count=1 -run 'TestParallel' ./internal/fleet/
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/faults/
+
+# Chaos harness: randomized-but-seeded correlated-failure plans swept
+# across domain shapes, outage kinds and checkpoint cadences, served by
+# both fleet fault routers at one and four workers, asserting
+# exactly-once conservation and byte-identical reports run-to-run and
+# across worker counts. TDPIPE_CHAOS_LONG=1 widens the seed set and
+# varies the retry budget (the race job above runs the short sweep
+# under the detector).
+chaos:
+	TDPIPE_CHAOS_LONG=$${TDPIPE_CHAOS_LONG:-0} $(GO) test -count=1 -run 'TestChaos' -v ./internal/faults/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
@@ -81,4 +92,4 @@ smoke:
 	$(GO) run ./cmd/tdpipe -exp disagg,faults -requests 250 -pool 2000 -workers 4
 	$(GO) run ./cmd/tdpipe -exp autoscale -requests 250 -pool 2000 -workers 4
 
-ci: build vet lint-docs test race smoke
+ci: build vet lint-docs test race chaos smoke

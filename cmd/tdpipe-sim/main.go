@@ -148,6 +148,9 @@ type options struct {
 	linkDegradeFactor float64
 	linkPartitionFrac float64
 	maxRetries        int
+	faultDomains      int
+	domainMTBF        float64
+	domainKind        string
 
 	cpuprofile string
 	memprofile string
@@ -168,6 +171,9 @@ func (o options) faultConfig() faults.Config {
 		LinkDegradeFactor:  o.linkDegradeFactor,
 		LinkPartitionFrac:  o.linkPartitionFrac,
 		CheckpointInterval: o.ckptInterval,
+		Topology:           hw.Topology{Racks: o.faultDomains},
+		DomainMTBF:         o.domainMTBF,
+		DomainKind:         o.domainKind,
 	}
 }
 
@@ -230,6 +236,9 @@ func printFaults(rep metrics.Report) {
 	}
 	fmt.Printf("faults: %d crashes, %d aborted, %d/%d recovered (recompute/checkpoint), %d dropped, %d output tokens lost\n",
 		f.Crashes, f.AbortedRequests, f.RecoveredRecompute, f.RecoveredCheckpoint, f.Dropped, f.LostOutputTokens)
+	if f.DomainOutages > 0 {
+		fmt.Printf("domains: %d correlated rack/zone outages\n", f.DomainOutages)
+	}
 	if f.Checkpoints > 0 {
 		fmt.Printf("checkpoints: %d rounds, %.2f GB serialized\n", f.Checkpoints, f.CheckpointBytes/1e9)
 	}
@@ -274,7 +283,7 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.Float64Var(&o.autoscaleInterval, "autoscale-interval", 1, "elastic autoscaling: evaluation cadence in virtual seconds")
 	fs.Float64Var(&o.admitRate, "admit-rate", 0, "token-bucket admission rate in requests/s (0 disables admission control)")
 	fs.IntVar(&o.admitBurst, "admit-burst", 16, "token-bucket admission burst size")
-	fs.IntVar(&o.breakerFailures, "breaker-failures", 0, "consecutive TTFT SLO misses that trip a replica's circuit breaker (0 disables; needs -slo-ttft)")
+	fs.IntVar(&o.breakerFailures, "breaker-failures", 0, "consecutive failures that trip a replica's circuit breaker: TTFT SLO misses online (needs -slo-ttft), aborted requests with -disagg (0 disables)")
 	fs.IntVar(&o.retryAttempts, "retry-attempts", 0, "admission attempts per request under seeded exponential backoff (0 disables retry; shed requests are then dropped)")
 	fs.IntVar(&o.priorityTiers, "priority-tiers", 0, "stamp the trace with priority tiers and preempt low tiers under KV pressure (0 disables; >= 2 tiers)")
 	fs.IntVar(&o.prefixGroups, "prefix-groups", 0, "shared-prefix groups to stamp on the trace (0 disables prefix structure)")
@@ -291,6 +300,9 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.Float64Var(&o.linkDegradeFrac, "link-degrade-frac", 0, "fraction of KV-link windows running degraded (-disagg only)")
 	fs.Float64Var(&o.linkDegradeFactor, "link-degrade-factor", 4, "KV transfer slowdown inside degraded windows")
 	fs.Float64Var(&o.linkPartitionFrac, "link-partition-frac", 0, "fraction of KV-link windows fully partitioned (-disagg only)")
+	fs.IntVar(&o.faultDomains, "fault-domains", 0, "racks in the fleet topology for correlated domain outages (0 disables; needs -domain-mtbf)")
+	fs.Float64Var(&o.domainMTBF, "domain-mtbf", 0, "each rack's mean time between correlated outages in virtual seconds (needs -fault-domains and -fault-horizon)")
+	fs.StringVar(&o.domainKind, "domain-kind", "power", "what a correlated domain outage does: power, network, or mixed")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit (pprof format)")
 }
@@ -593,7 +605,7 @@ func run(o options) error {
 	// pair is fixed) and the disagg flags do nothing without it. Reject
 	// either mismatch rather than silently substitute defaults.
 	var fleetFlags, disaggFlags, linkFlags, frontFlags, scaleFlags []string
-	workersSet := false
+	workersSet, breakerSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "replicas", "policy":
@@ -602,14 +614,22 @@ func run(o options) error {
 			disaggFlags = append(disaggFlags, "-"+f.Name)
 		case "link-degrade-frac", "link-degrade-factor", "link-partition-frac":
 			linkFlags = append(linkFlags, "-"+f.Name)
-		case "admit-rate", "admit-burst", "breaker-failures", "retry-attempts", "priority-tiers":
+		case "admit-rate", "admit-burst", "retry-attempts", "priority-tiers":
 			frontFlags = append(frontFlags, "-"+f.Name)
+		case "breaker-failures":
+			breakerSet = true
 		case "autoscale-max", "autoscale-min", "autoscale-interval":
 			scaleFlags = append(scaleFlags, "-"+f.Name)
 		case "workers":
 			workersSet = true
 		}
 	})
+	// Breakers ride the online policy stack (TTFT-classified) outside
+	// -disagg; with -disagg they attach to both pools and are fed by
+	// crashes, so they compose with fault injection there.
+	if breakerSet && !o.disagg {
+		frontFlags = append(frontFlags, "-breaker-failures")
+	}
 	if len(linkFlags) > 0 && !o.disagg {
 		return fmt.Errorf("%s model the KV hand-off link and only take effect with -disagg", strings.Join(linkFlags, ", "))
 	}
@@ -624,14 +644,20 @@ func run(o options) error {
 	if (len(frontFlags) > 0 || len(scaleFlags) > 0) && fc.Enabled() {
 		return fmt.Errorf("fault injection and the policy stack use different routers; run them separately")
 	}
-	if o.breakerFailures > 0 && o.slo.TTFT <= 0 {
-		return fmt.Errorf("-breaker-failures classifies completions against the TTFT SLO: set -slo-ttft")
+	if o.breakerFailures > 0 && o.slo.TTFT <= 0 && !o.disagg {
+		return fmt.Errorf("-breaker-failures classifies completions against the TTFT SLO: set -slo-ttft (with -disagg breakers are crash-fed instead)")
 	}
 	if workersSet && !o.disagg && (o.replicas <= 1 || (!open && !fc.Enabled())) {
 		return fmt.Errorf("-workers parallelizes the co-simulated serving paths: it needs -disagg, or -replicas > 1 with open-loop arrivals or fault injection (offline fleet runs already simulate replicas concurrently)")
 	}
-	if (fc.MTBF > 0 || fc.LinkDegradeFrac > 0 || fc.LinkPartitionFrac > 0) && fc.Horizon <= 0 {
-		return fmt.Errorf("-mtbf and the -link-* impairments need -fault-horizon to bound when failures can land")
+	if (fc.MTBF > 0 || fc.LinkDegradeFrac > 0 || fc.LinkPartitionFrac > 0 || fc.DomainMTBF > 0) && fc.Horizon <= 0 {
+		return fmt.Errorf("-mtbf, -domain-mtbf and the -link-* impairments need -fault-horizon to bound when failures can land")
+	}
+	if o.domainMTBF > 0 && o.faultDomains <= 0 {
+		return fmt.Errorf("-domain-mtbf draws correlated outages over a fleet topology: set -fault-domains")
+	}
+	if o.faultDomains > 0 && o.domainMTBF <= 0 {
+		return fmt.Errorf("-fault-domains declares the topology for correlated outages: set -domain-mtbf")
 	}
 	if err := fc.Validate(); err != nil {
 		return err

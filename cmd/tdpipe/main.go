@@ -8,7 +8,7 @@
 //	tdpipe -exp fig13 -requests 3000 -seed 7
 //
 // Experiments: table1 table2 fig2 fig6 fig11 fig12 fig13 fig14 fig15
-// fig16 fleet online prefix disagg faults autoscale all. "fleet" sweeps the
+// fig16 fleet online prefix disagg faults chaos autoscale all. "fleet" sweeps the
 // data-parallel serving layer (replica count x dispatch policy) beyond
 // the paper's single-engine evaluation; "online" sweeps open-loop
 // Poisson offered load and reports TTFT/TPOT/E2E tails plus SLO
@@ -19,7 +19,10 @@
 // colocated control under bursty load; "faults" injects seeded replica
 // crashes, stragglers and KV-link impairments and measures recovery
 // (recompute vs periodic KV checkpointing) against the fault-free
-// control; "autoscale" serves a diurnal trace under static-peak,
+// control; "chaos" compares correlated failure domains (rack/zone
+// power and network outages over a fleet topology) against
+// independent crashes at equal aggregate failure rate;
+// "autoscale" serves a diurnal trace under static-peak,
 // static-mean and elastic provisioning and reports the GPU-hours vs
 // goodput frontier.
 package main
@@ -35,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table1,table2,fig2,fig6,fig11,fig12,fig13,fig14,fig15,fig16,fleet,online,prefix,disagg,faults,autoscale,all)")
+		exp      = flag.String("exp", "all", "experiment to run (table1,table2,fig2,fig6,fig11,fig12,fig13,fig14,fig15,fig16,fleet,online,prefix,disagg,faults,chaos,autoscale,all)")
 		requests = flag.Int("requests", 0, "evaluation sample size (default: quick scale)")
 		pool     = flag.Int("pool", 0, "corpus size (default: quick scale)")
 		seed     = flag.Int64("seed", 1, "trace seed")
@@ -66,7 +69,7 @@ func main() {
 func run(exp string, opts experiments.Options) error {
 	names := strings.Split(exp, ",")
 	if exp == "all" {
-		names = []string{"table1", "table2", "fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "offload", "fleet", "online", "prefix", "disagg", "faults", "autoscale"}
+		names = []string{"table1", "table2", "fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "offload", "fleet", "online", "prefix", "disagg", "faults", "chaos", "autoscale"}
 	}
 
 	var env *experiments.Env
@@ -227,6 +230,16 @@ func run(exp string, opts experiments.Options) error {
 				return err
 			}
 			fmt.Println(experiments.FormatFaults(rows))
+		case "chaos":
+			e, err := getEnv()
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.Chaos(e)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatChaos(rows))
 		case "autoscale":
 			e, err := getEnv()
 			if err != nil {

@@ -169,6 +169,10 @@ type Engine struct {
 	aborted  int
 	fatalErr error
 	crashes  int
+	// restartAt is the instant the last crash's downtime ends; Restore
+	// before it is a lifecycle bug (the GPUs are still stalled
+	// reloading weights) and is rejected.
+	restartAt sim.Time
 
 	// Checkpoint cadence state (Config.CheckpointInterval).
 	ckptScheduled    bool
@@ -514,6 +518,7 @@ func (e *Engine) Crash(restartAt sim.Time) ([]Lost, error) {
 	e.dead = true
 	e.epoch++
 	e.crashes++
+	e.restartAt = restartAt
 	var lost []Lost
 	for id, st := range e.states {
 		if st.done || st.aborted {
@@ -564,11 +569,17 @@ func (e *Engine) Crash(restartAt sim.Time) ([]Lost, error) {
 }
 
 // Restore brings a crashed engine back to life at the current virtual
-// time (call at the restart instant passed to Crash). The engine is
-// idle and empty; submissions kick the phase machine as usual.
+// time (call at the restart instant passed to Crash — earlier is a
+// lifecycle bug, the process is still reloading weights, and is
+// rejected so a mis-scheduled restore cannot resurrect a replica whose
+// GPUs the cluster still holds stalled). The engine is idle and empty;
+// submissions kick the phase machine as usual.
 func (e *Engine) Restore() error {
 	if !e.dead {
 		return fmt.Errorf("core: restore of a live engine")
+	}
+	if now := e.eng.Now(); now < e.restartAt {
+		return fmt.Errorf("core: restore at %v before the restart instant %v", now, e.restartAt)
 	}
 	e.dead = false
 	return nil
@@ -644,7 +655,7 @@ func (e *Engine) doCheckpoint() {
 	e.checkpoints++
 	bytes := float64(blocks*e.kv.BlockSize()) * e.cfg.Spec.KVBytesPerToken()
 	e.checkpointBytes += bytes
-	e.cluster.Stall(now, e.cfg.Node.KVTransferTime(bytes))
+	e.cluster.Stall(now, costmodel.KVTransfer(e.cfg.Node)(bytes))
 }
 
 func (e *Engine) newState(r workload.Request) *reqState {

@@ -1,0 +1,46 @@
+package costmodel
+
+import "repro/internal/hw"
+
+// Bulk-transfer costs --------------------------------------------------
+//
+// Every path that moves bytes over a modeled link — KV hand-offs
+// between disaggregated replicas, checkpoint serialization and
+// restore, and host-link weight/KV streaming in the offload comparator
+// — prices the move here, so there is exactly one transfer formula to
+// calibrate rather than per-subsystem copies that drift apart.
+
+// TransferTime returns the time to move bytes over a link of gbps GB/s
+// shared by sharers concurrent streams, plus a fixed per-transfer
+// latency. Zero bytes cost nothing (not even the latency: no transfer
+// happens). A non-positive bandwidth yields the bare latency rather
+// than dividing by zero — the result is always finite, never the +Inf
+// that would poison virtual-time schedules.
+func TransferTime(bytes, gbps float64, sharers int, latency float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if sharers < 1 {
+		sharers = 1
+	}
+	if gbps <= 0 {
+		return latency
+	}
+	return latency + bytes*float64(sharers)/(gbps*1e9)
+}
+
+// KVTransfer returns the cost function for migrating KV-cache bytes to
+// a peer replica on the given node: checkpoint serialization/restore
+// and disaggregated prefill→decode hand-offs both use it. The link
+// fallback chain is resolved once, up front: the explicit KV link if
+// the node has one, else the P2P parameters, else (no usable bandwidth
+// anywhere — an unvalidated node) the applicable fixed latency alone.
+func KVTransfer(n hw.Node) func(bytes float64) float64 {
+	bw, lat := n.KVLinkGBps, n.KVLinkLatency
+	if bw <= 0 {
+		bw, lat = n.P2PGBps, n.P2PLatency
+	}
+	return func(bytes float64) float64 {
+		return TransferTime(bytes, bw, 1, lat)
+	}
+}

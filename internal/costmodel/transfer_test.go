@@ -1,0 +1,79 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(0, 25, 1, 50e-6); got != 0 {
+		t.Errorf("empty transfer = %v, want 0", got)
+	}
+	want := 50e-6 + 5e9/25e9
+	if got := TransferTime(5e9, 25, 1, 50e-6); math.Abs(got-want) > 1e-15 {
+		t.Errorf("transfer = %v, want %v", got, want)
+	}
+	// Sharers divide the link: 4 contending streams each see 1/4 the
+	// bandwidth.
+	solo := TransferTime(1e9, 25, 1, 0)
+	if got := TransferTime(1e9, 25, 4, 0); math.Abs(got-4*solo) > 1e-15 {
+		t.Errorf("shared transfer = %v, want %v", got, 4*solo)
+	}
+	if got := TransferTime(1e9, 25, 0, 0); math.Abs(got-solo) > 1e-15 {
+		t.Errorf("zero sharers = %v, want solo %v", got, solo)
+	}
+	// No bandwidth: bare latency, finite.
+	if got := TransferTime(1e9, 0, 1, 10e-6); math.IsInf(got, 1) || math.IsNaN(got) || got != 10e-6 {
+		t.Errorf("bandwidth-less transfer = %v, want the bare latency", got)
+	}
+}
+
+// The KV hand-off link: latency + payload/bandwidth, with a fallback
+// to the P2P parameters for nodes without an explicit KV link.
+func TestKVTransfer(t *testing.T) {
+	xfer := KVTransfer(hw.A100) // 25 GB/s, 50 µs
+	if got := xfer(0); got != 0 {
+		t.Errorf("empty transfer = %v, want 0", got)
+	}
+	want := 50e-6 + 5e9/25e9
+	if got := xfer(5e9); math.Abs(got-want) > 1e-15 {
+		t.Errorf("kv transfer = %v, want %v", got, want)
+	}
+	fb := hw.A100
+	fb.KVLinkGBps, fb.KVLinkLatency = 0, 0
+	if got, p2p := KVTransfer(fb)(5e9), fb.P2PTime(5e9); math.Abs(got-p2p) > 1e-15 {
+		t.Errorf("fallback transfer = %v, want p2p %v", got, p2p)
+	}
+	if !(KVTransfer(hw.TestNode)(1e9) > 0) {
+		t.Error("test node transfer not positive")
+	}
+}
+
+// An unvalidated node with no bandwidth anywhere must still produce
+// finite times (the end of the fallback chain is latency-only).
+func TestKVTransferFiniteWithoutBandwidth(t *testing.T) {
+	n := hw.Node{P2PLatency: 10e-6, KVLinkLatency: 50e-6}
+	if got := KVTransfer(n)(1e9); math.IsInf(got, 1) || math.IsNaN(got) || got != 10e-6 {
+		t.Errorf("bandwidth-less KV transfer = %v, want the P2P fallback latency", got)
+	}
+	n.KVLinkGBps = 25
+	if got := KVTransfer(n)(1e9); math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Errorf("KV-link-only transfer = %v, want finite", got)
+	}
+}
+
+// The offload comparator's host-link streaming must price through the
+// same formula: aggregate bandwidth divided among the GPUs sharing the
+// root complex, no setup latency.
+func TestTransferTimeMatchesHostLinkDivision(t *testing.T) {
+	const gbps, gpus = 25.0, 4
+	perGPULink := gbps * 1e9 / float64(gpus)
+	for _, bytes := range []float64{1, 1e6, 3.7e9} {
+		want := bytes / perGPULink
+		if got := TransferTime(bytes, gbps, gpus, 0); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("TransferTime(%v) = %v, want %v", bytes, got, want)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Correlated failure domains: real fleets rarely fail one replica at a
+// time — a rack power event or ToR switch failure takes out every
+// member (and every KV link) in a domain at once. The topology
+// (hw.Topology) places replicas into racks and zones; drawDomains
+// layers seeded domain-level outage events over the independent
+// per-replica schedules, and the materialization below keeps the
+// plan's standing invariants: per-replica crash windows stay strictly
+// non-overlapping (union-merged, so the router never crashes an
+// already-dead engine) and link timelines stay ordered and disjoint
+// (partition wins where windows overlap).
+
+// DomainKind values for Config.DomainKind and DomainOutage.Kind.
+const (
+	// DomainPower crashes every member together; all restart at the
+	// shared window end (one breaker, one restart storm).
+	DomainPower = "power"
+	// DomainNetwork leaves members serving but partitions their KV
+	// links for the window (ToR/spine loss: compute is fine, bytes
+	// don't move).
+	DomainNetwork = "network"
+	// DomainMixed draws power or network per event with equal
+	// probability. Only valid in Config.DomainKind; materialized
+	// events always carry one of the two concrete kinds.
+	DomainMixed = "mixed"
+)
+
+// DomainOutage is one correlated domain-level event.
+type DomainOutage struct {
+	// Kind is DomainPower or DomainNetwork.
+	Kind string
+	// Rack is the failing rack. For zone-wide events it is the rack
+	// whose draw escalated.
+	Rack int
+	// Zone is -1 for rack-scoped events, else the zone the event
+	// escalated to.
+	Zone int
+	// Members are the affected replicas, ascending.
+	Members []int
+	// Start and End bound the outage window (End may exceed the
+	// horizon, like crash restarts).
+	Start, End float64
+}
+
+// drawDomains appends seeded domain outage events to the plan and
+// materializes them: power events become per-member crash windows
+// union-merged with the independent schedule; network events become
+// per-member link partitions merged over the shared timeline. Draw
+// order is fixed (rack-major, time-ascending), so plans stay
+// deterministic, and domain draws happen after all independent draws,
+// so enabling domains never perturbs the independent schedule for a
+// given seed.
+func (p *Plan) drawDomains(rng *rand.Rand, downtime float64) error {
+	cfg := p.Config
+	if downtime <= 0 {
+		return fmt.Errorf("faults: domain outages need a positive downtime (got %v)", downtime)
+	}
+	top := cfg.Topology
+	if top.Replicas == 0 {
+		top.Replicas = p.Replicas
+	}
+	if err := top.Validate(); err != nil {
+		return err
+	}
+	if top.Replicas != p.Replicas {
+		return fmt.Errorf("faults: topology covers %d replicas, fleet has %d", top.Replicas, p.Replicas)
+	}
+	p.Config.Topology = top
+
+	for rack := 0; rack < top.Racks; rack++ {
+		t := rng.ExpFloat64() * cfg.DomainMTBF
+		for t < cfg.Horizon {
+			kind := cfg.DomainKind
+			if kind == "" {
+				kind = DomainPower
+			}
+			if kind == DomainMixed {
+				if rng.Float64() < 0.5 {
+					kind = DomainPower
+				} else {
+					kind = DomainNetwork
+				}
+			}
+			ev := DomainOutage{Kind: kind, Rack: rack, Zone: -1, Start: t, End: t + downtime}
+			if cfg.ZoneFrac > 0 && rng.Float64() < cfg.ZoneFrac {
+				ev.Zone = top.Zone(rack)
+				ev.Members = top.ZoneMembers(ev.Zone)
+			} else {
+				ev.Members = top.RackMembers(rack)
+			}
+			p.Domains = append(p.Domains, ev)
+			t = ev.End + rng.ExpFloat64()*cfg.DomainMTBF
+		}
+	}
+	if len(p.Domains) == 0 {
+		return nil
+	}
+	sort.Slice(p.Domains, func(a, b int) bool {
+		if p.Domains[a].Start != p.Domains[b].Start {
+			return p.Domains[a].Start < p.Domains[b].Start
+		}
+		return p.Domains[a].Rack < p.Domains[b].Rack
+	})
+	p.materializeDomains()
+	return nil
+}
+
+// materializeDomains folds the drawn domain events into the plan's
+// executable schedules.
+func (p *Plan) materializeDomains() {
+	var havePower bool
+	netWins := make(map[int][]Window)
+	for _, ev := range p.Domains {
+		switch ev.Kind {
+		case DomainPower:
+			havePower = true
+		case DomainNetwork:
+			for _, m := range ev.Members {
+				netWins[m] = append(netWins[m], Window{Start: ev.Start, End: ev.End, Factor: 0})
+			}
+		}
+	}
+
+	if havePower {
+		// Collect every crash window per replica — independent draws
+		// plus domain power events — and union-merge overlaps, so a
+		// replica that was already down when its rack lost power just
+		// stays down until the later of the two restarts.
+		perReplica := make([][]Crash, p.Replicas)
+		for _, c := range p.Crashes {
+			perReplica[c.Replica] = append(perReplica[c.Replica], c)
+		}
+		for _, ev := range p.Domains {
+			if ev.Kind != DomainPower {
+				continue
+			}
+			for _, m := range ev.Members {
+				perReplica[m] = append(perReplica[m], Crash{Replica: m, At: ev.Start, RestartAt: ev.End})
+			}
+		}
+		merged := p.Crashes[:0]
+		for i, wins := range perReplica {
+			sort.Slice(wins, func(a, b int) bool { return wins[a].At < wins[b].At })
+			for _, c := range wins {
+				if n := len(merged); n > 0 && merged[n-1].Replica == i && c.At <= merged[n-1].RestartAt {
+					if c.RestartAt > merged[n-1].RestartAt {
+						merged[n-1].RestartAt = c.RestartAt
+					}
+					continue
+				}
+				merged = append(merged, c)
+			}
+		}
+		sort.Slice(merged, func(a, b int) bool {
+			if merged[a].At != merged[b].At {
+				return merged[a].At < merged[b].At
+			}
+			return merged[a].Replica < merged[b].Replica
+		})
+		if max := p.Config.MaxCrashes; max > 0 && len(merged) > max {
+			merged = merged[:max]
+		}
+		p.Crashes = merged
+	}
+
+	if len(netWins) > 0 {
+		p.ReplicaLinks = make([][]Window, p.Replicas)
+		for m, wins := range netWins {
+			p.ReplicaLinks[m] = mergeWindows(append(wins, p.Links...))
+		}
+	}
+}
+
+// mergeWindows normalizes possibly-overlapping impairment windows into
+// the ordered disjoint timeline transferDone walks: where windows
+// overlap, a partition (Factor 0) dominates, otherwise the largest
+// slowdown factor applies; touching windows with equal factors
+// coalesce. The input is not modified beyond reordering.
+func mergeWindows(ws []Window) []Window {
+	in := make([]Window, 0, len(ws))
+	for _, w := range ws {
+		if w.End > w.Start {
+			in = append(in, w)
+		}
+	}
+	if len(in) == 0 {
+		return nil
+	}
+	// Cut the timeline at every window boundary and resolve each
+	// elementary interval independently; n is small (a handful of
+	// outages × 8 link slots), so the quadratic sweep is fine.
+	cuts := make([]float64, 0, 2*len(in))
+	for _, w := range in {
+		cuts = append(cuts, w.Start, w.End)
+	}
+	sort.Float64s(cuts)
+	var out []Window
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		if b <= a {
+			continue
+		}
+		covered, partition := false, false
+		factor := 0.0
+		for _, w := range in {
+			if w.Start <= a && w.End >= b {
+				covered = true
+				if w.Factor == 0 {
+					partition = true
+				} else if w.Factor > factor {
+					factor = w.Factor
+				}
+			}
+		}
+		if !covered {
+			continue
+		}
+		if partition {
+			factor = 0
+		}
+		if n := len(out); n > 0 && out[n-1].End == a && out[n-1].Factor == factor {
+			out[n-1].End = b
+			continue
+		}
+		out = append(out, Window{Start: a, End: b, Factor: factor})
+	}
+	return out
+}
+
+// Validate checks a materialized plan's standing invariants: replicas
+// and members in range, per-replica crash windows strictly
+// non-overlapping, link timelines ordered and disjoint, and domain
+// events forming a consistent partition of the fleet (no two racks
+// sharing members, no unknown replicas). NewPlan validates every plan
+// it generates; hand-built plans should be validated before use. A nil
+// plan is valid (it means "no faults").
+func Validate(p *Plan) error {
+	if p == nil {
+		return nil
+	}
+	if p.Replicas <= 0 {
+		return fmt.Errorf("faults: plan covers %d replicas", p.Replicas)
+	}
+	if err := p.Config.Validate(); err != nil {
+		return err
+	}
+	if n := len(p.Slowdowns); n != 0 && n != p.Replicas {
+		return fmt.Errorf("faults: %d slowdowns for %d replicas", n, p.Replicas)
+	}
+
+	lastRestart := make(map[int]float64)
+	var prev *Crash
+	for i := range p.Crashes {
+		c := &p.Crashes[i]
+		if c.Replica < 0 || c.Replica >= p.Replicas {
+			return fmt.Errorf("faults: crash %d references unknown replica %d (fleet has %d)", i, c.Replica, p.Replicas)
+		}
+		if c.RestartAt < c.At {
+			return fmt.Errorf("faults: crash %d restarts at %v before it happens at %v", i, c.RestartAt, c.At)
+		}
+		if prev != nil && (c.At < prev.At || (c.At == prev.At && c.Replica < prev.Replica)) {
+			return fmt.Errorf("faults: crashes not ordered by (At, Replica) at index %d", i)
+		}
+		if r, ok := lastRestart[c.Replica]; ok && c.At <= r {
+			return fmt.Errorf("faults: replica %d crash windows overlap (crash at %v, previous restart %v)", c.Replica, c.At, r)
+		}
+		lastRestart[c.Replica] = c.RestartAt
+		prev = c
+	}
+
+	if err := validateWindows("link", p.Links); err != nil {
+		return err
+	}
+	if n := len(p.ReplicaLinks); n != 0 && n != p.Replicas {
+		return fmt.Errorf("faults: %d replica link timelines for %d replicas", n, p.Replicas)
+	}
+	for i, wins := range p.ReplicaLinks {
+		if err := validateWindows(fmt.Sprintf("replica %d link", i), wins); err != nil {
+			return err
+		}
+	}
+	return validateDomains(p)
+}
+
+func validateWindows(what string, wins []Window) error {
+	for i, w := range wins {
+		if w.End <= w.Start {
+			return fmt.Errorf("faults: %s window %d is empty or inverted [%v, %v)", what, i, w.Start, w.End)
+		}
+		if w.Factor != 0 && w.Factor < 1 {
+			return fmt.Errorf("faults: %s window %d has factor %v (want 0 for partition or >= 1)", what, i, w.Factor)
+		}
+		if i > 0 && w.Start < wins[i-1].End {
+			return fmt.Errorf("faults: %s windows %d and %d overlap", what, i-1, i)
+		}
+	}
+	return nil
+}
+
+func validateDomains(p *Plan) error {
+	rackMembers := make(map[int][]int)
+	rackEnd := make(map[int]float64)
+	for i, ev := range p.Domains {
+		if ev.Kind != DomainPower && ev.Kind != DomainNetwork {
+			return fmt.Errorf("faults: domain outage %d has kind %q (materialized events must be %q or %q)",
+				i, ev.Kind, DomainPower, DomainNetwork)
+		}
+		if ev.End <= ev.Start {
+			return fmt.Errorf("faults: domain outage %d window empty or inverted [%v, %v)", i, ev.Start, ev.End)
+		}
+		if len(ev.Members) == 0 {
+			return fmt.Errorf("faults: domain outage %d has no members", i)
+		}
+		for j, m := range ev.Members {
+			if m < 0 || m >= p.Replicas {
+				return fmt.Errorf("faults: domain outage %d (rack %d) references unknown replica %d (fleet has %d)",
+					i, ev.Rack, m, p.Replicas)
+			}
+			if j > 0 && m <= ev.Members[j-1] {
+				return fmt.Errorf("faults: domain outage %d members not strictly ascending: %v", i, ev.Members)
+			}
+		}
+		if top := p.Config.Topology; top.Enabled() {
+			want := top.RackMembers(ev.Rack)
+			if ev.Zone >= 0 {
+				want = top.ZoneMembers(ev.Zone)
+			}
+			if !equalInts(ev.Members, want) {
+				return fmt.Errorf("faults: domain outage %d members %v do not match topology domain %v", i, ev.Members, want)
+			}
+		}
+		if ev.Zone < 0 {
+			// Rack-scoped events define the rack→members partition:
+			// a rack's member set must be consistent across events and
+			// disjoint from every other rack's.
+			if seen, ok := rackMembers[ev.Rack]; ok {
+				if !equalInts(seen, ev.Members) {
+					return fmt.Errorf("faults: rack %d has inconsistent member sets %v and %v", ev.Rack, seen, ev.Members)
+				}
+			} else {
+				for rack, members := range rackMembers {
+					if intersects(members, ev.Members) {
+						return fmt.Errorf("faults: rack %d and rack %d member sets overlap (%v ∩ %v)",
+							rack, ev.Rack, members, ev.Members)
+					}
+				}
+				rackMembers[ev.Rack] = ev.Members
+			}
+		}
+		// Same-rack events must not overlap in time (the next is drawn
+		// after the previous outage ends).
+		if end, ok := rackEnd[ev.Rack]; ok && ev.Start < end {
+			return fmt.Errorf("faults: rack %d outages overlap in time (start %v before previous end %v)", ev.Rack, ev.Start, end)
+		}
+		if ev.End > rackEnd[ev.Rack] {
+			rackEnd[ev.Rack] = ev.End
+		}
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intersects(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

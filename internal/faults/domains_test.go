@@ -1,0 +1,465 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// Satellite: the boundary semantics of the impaired-link walk, pinned.
+// Windows are half-open [Start, End); completion exactly on a shared
+// boundary between two windows lands on that boundary exactly and the
+// later window never applies.
+func TestTransferDoneBoundaryTable(t *testing.T) {
+	degradeThenPartition := []Window{
+		{Start: 10, End: 20, Factor: 2}, // capacity: 5s of work
+		{Start: 20, End: 30, Factor: 0}, // partition abuts at 20
+	}
+	partitionThenDegrade := []Window{
+		{Start: 10, End: 20, Factor: 0},
+		{Start: 20, End: 30, Factor: 4}, // degrade abuts at 20
+	}
+	cases := []struct {
+		name       string
+		wins       []Window
+		start, dur float64
+		want       float64
+	}{
+		// A transfer that exactly exhausts the degrade window's
+		// capacity completes at its End — the abutting partition never
+		// extends it, and the result is the boundary instant exactly.
+		{"exhausts degrade at shared boundary", degradeThenPartition, 10, 5, 20},
+		{"exhausts degrade from inside", degradeThenPartition, 15, 2.5, 20},
+		// One epsilon more work stalls through the whole partition.
+		{"spills into abutting partition", degradeThenPartition, 10, 5.5, 30.5},
+		// Work running out exactly at a window's Start completes there:
+		// the window governs only work strictly inside it.
+		{"ends exactly at degrade start", degradeThenPartition, 0, 10, 10},
+		{"ends exactly at partition start", []Window{{Start: 20, End: 30, Factor: 0}}, 0, 20, 20},
+		// Partition then degrade: stalled work resumes at the shared
+		// boundary under the degrade factor.
+		{"through partition into degrade", partitionThenDegrade, 5, 6, 24},
+		{"ends exactly at partition start (abutting pair)", partitionThenDegrade, 5, 5, 10},
+		// Two abutting degrade windows: crossing the boundary switches
+		// factor with no discontinuity.
+		{"abutting degrades", []Window{
+			{Start: 10, End: 20, Factor: 2},
+			{Start: 20, End: 30, Factor: 5},
+		}, 10, 6, 25},
+		// Start exactly at a partition's End: untouched.
+		{"starts at partition end", degradeThenPartition, 30, 3, 33},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &Plan{Links: tc.wins}
+			got := p.TransferDone(tc.start, tc.dur)
+			if got != tc.want {
+				// Boundary cases must be exact, not within-epsilon: the
+				// routers schedule events at these instants and event
+				// order is what determinism hangs on.
+				t.Fatalf("TransferDone(%v, %v) = %v, want exactly %v", tc.start, tc.dur, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTransferDoneFrom(t *testing.T) {
+	p := &Plan{
+		Replicas: 3,
+		Links:    []Window{{Start: 10, End: 20, Factor: 2}},
+		ReplicaLinks: [][]Window{
+			nil,
+			{{Start: 0, End: 50, Factor: 0}}, // replica 1: partitioned
+			nil,
+		},
+	}
+	if got := p.TransferDoneFrom(-1, 0, 5); got != 5 {
+		t.Fatalf("stable-storage transfer = %v, want 5", got)
+	}
+	if got, want := p.TransferDoneFrom(0, 8, 4), p.TransferDone(8, 4); got != want {
+		t.Fatalf("replica 0 transfer = %v, want shared-timeline %v", got, want)
+	}
+	if got := p.TransferDoneFrom(1, 8, 4); got != 54 {
+		t.Fatalf("partitioned replica transfer = %v, want 54", got)
+	}
+	if got := p.TransferDoneFrom(99, 8, 4); got != p.TransferDone(8, 4) {
+		t.Fatalf("out-of-range replica transfer = %v, want shared-timeline fallback", got)
+	}
+	var nilPlan *Plan
+	if got := nilPlan.TransferDoneFrom(0, 3, 2); got != 5 {
+		t.Fatalf("nil plan TransferDoneFrom = %v, want 5", got)
+	}
+}
+
+func TestMergeWindows(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Window
+		want []Window
+	}{
+		{"empty", nil, nil},
+		{"zero width dropped", []Window{{Start: 5, End: 5, Factor: 0}}, nil},
+		{"partition dominates overlap",
+			[]Window{{Start: 0, End: 10, Factor: 3}, {Start: 5, End: 15, Factor: 0}},
+			[]Window{{Start: 0, End: 5, Factor: 3}, {Start: 5, End: 15, Factor: 0}}},
+		{"max factor on degrade overlap",
+			[]Window{{Start: 0, End: 10, Factor: 2}, {Start: 5, End: 15, Factor: 4}},
+			[]Window{{Start: 0, End: 5, Factor: 2}, {Start: 5, End: 15, Factor: 4}}},
+		{"touching equal factors coalesce",
+			[]Window{{Start: 0, End: 5, Factor: 2}, {Start: 5, End: 10, Factor: 2}},
+			[]Window{{Start: 0, End: 10, Factor: 2}}},
+		{"disjoint preserved",
+			[]Window{{Start: 20, End: 30, Factor: 0}, {Start: 0, End: 10, Factor: 2}},
+			[]Window{{Start: 0, End: 10, Factor: 2}, {Start: 20, End: 30, Factor: 0}}},
+		{"containment",
+			[]Window{{Start: 0, End: 30, Factor: 0}, {Start: 10, End: 20, Factor: 2}},
+			[]Window{{Start: 0, End: 30, Factor: 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := mergeWindows(append([]Window(nil), tc.in...))
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("mergeWindows(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfigValidateDomains(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Seed: 1, Horizon: 100,
+			Topology:   hw.Topology{Racks: 2},
+			DomainMTBF: 50,
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"valid", func(c *Config) {}, true},
+		{"mixed kind", func(c *Config) { c.DomainKind = DomainMixed }, true},
+		{"negative domain mtbf", func(c *Config) { c.DomainMTBF = -1 }, false},
+		{"domains need topology", func(c *Config) { c.Topology = hw.Topology{} }, false},
+		{"domains need horizon", func(c *Config) { c.Horizon = 0 }, false},
+		{"unknown kind", func(c *Config) { c.DomainKind = "gremlins" }, false},
+		{"zone frac range", func(c *Config) { c.ZoneFrac = 1.5 }, false},
+		{"bad topology", func(c *Config) { c.Topology = hw.Topology{Replicas: 1, Racks: 4} }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base()
+			tc.mut(&c)
+			if err := c.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+// Power outages: every member of the failing domain is down for the
+// whole shared window, schedules merge with independent draws without
+// overlap, and the plan validates.
+func TestNewPlanDomainsPower(t *testing.T) {
+	cfg := Config{
+		Seed: 11, Horizon: 300,
+		MTBF: 80, RestartDelay: 1,
+		Topology:   hw.Topology{Racks: 2},
+		DomainMTBF: 60,
+	}
+	const downtime = 5.0
+	p, err := NewPlan(cfg, 4, downtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) == 0 {
+		t.Fatal("expected domain outages over the horizon")
+	}
+	if p.Config.Topology.Replicas != 4 {
+		t.Fatalf("topology did not adopt fleet size: %+v", p.Config.Topology)
+	}
+	for _, ev := range p.Domains {
+		if ev.Kind != DomainPower {
+			t.Fatalf("default kind = %q, want power", ev.Kind)
+		}
+		want := p.Config.Topology.RackMembers(ev.Rack)
+		if !reflect.DeepEqual(ev.Members, want) {
+			t.Fatalf("rack %d members %v, want %v", ev.Rack, ev.Members, want)
+		}
+		// Each member must be dead for the whole window: some crash
+		// window contains [Start, End].
+		for _, m := range ev.Members {
+			covered := false
+			for _, c := range p.Crashes {
+				if c.Replica == m && c.At <= ev.Start && c.RestartAt >= ev.End {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("member %d not down for outage [%v, %v]", m, ev.Start, ev.End)
+			}
+		}
+	}
+	if err := Validate(p); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	// Determinism.
+	q, err := NewPlan(cfg, 4, downtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatal("same seed produced different domain plans")
+	}
+}
+
+// Network outages crash nobody; members' link timelines carry the
+// partitions (merged over the shared windows), non-members are
+// untouched.
+func TestNewPlanDomainsNetwork(t *testing.T) {
+	cfg := Config{
+		Seed: 5, Horizon: 300,
+		Topology:   hw.Topology{Racks: 2},
+		DomainMTBF: 60,
+		DomainKind: DomainNetwork,
+	}
+	p, err := NewPlan(cfg, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) == 0 {
+		t.Fatal("expected domain outages")
+	}
+	if len(p.Crashes) != 0 {
+		t.Fatalf("network outages produced %d crashes", len(p.Crashes))
+	}
+	if len(p.ReplicaLinks) != 4 {
+		t.Fatalf("ReplicaLinks len %d, want 4", len(p.ReplicaLinks))
+	}
+	affected := make(map[int]bool)
+	for _, ev := range p.Domains {
+		for _, m := range ev.Members {
+			affected[m] = true
+		}
+		// A transfer started mid-outage by a member makes no progress
+		// until the window closes.
+		m := ev.Members[0]
+		if got := p.TransferDoneFrom(m, ev.Start, 0.001); got < ev.End {
+			t.Fatalf("member %d transfer done %v inside outage ending %v", m, got, ev.End)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if affected[i] && p.ReplicaLinks[i] == nil {
+			t.Fatalf("affected replica %d has no link timeline", i)
+		}
+		if !affected[i] && p.ReplicaLinks[i] != nil {
+			t.Fatalf("unaffected replica %d has a link timeline", i)
+		}
+	}
+}
+
+// Zone escalation: with ZoneFrac 1 every event covers the rack's whole
+// zone.
+func TestNewPlanZoneEscalation(t *testing.T) {
+	cfg := Config{
+		Seed: 9, Horizon: 200,
+		Topology:   hw.Topology{Racks: 4, RacksPerZone: 2},
+		DomainMTBF: 80,
+		ZoneFrac:   1,
+	}
+	p, err := NewPlan(cfg, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Domains) == 0 {
+		t.Fatal("expected domain outages")
+	}
+	for _, ev := range p.Domains {
+		if ev.Zone < 0 {
+			t.Fatalf("event not zone-scoped: %+v", ev)
+		}
+		want := p.Config.Topology.ZoneMembers(ev.Zone)
+		if !reflect.DeepEqual(ev.Members, want) {
+			t.Fatalf("zone %d members %v, want %v", ev.Zone, ev.Members, want)
+		}
+	}
+}
+
+// Mixed kind draws both flavors over a long horizon.
+func TestNewPlanDomainsMixed(t *testing.T) {
+	cfg := Config{
+		Seed: 2, Horizon: 2000,
+		Topology:   hw.Topology{Racks: 2},
+		DomainMTBF: 40,
+		DomainKind: DomainMixed,
+	}
+	p, err := NewPlan(cfg, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	for _, ev := range p.Domains {
+		kinds[ev.Kind]++
+	}
+	if kinds[DomainPower] == 0 || kinds[DomainNetwork] == 0 {
+		t.Fatalf("mixed draw produced %v", kinds)
+	}
+}
+
+// Enabling domains must not perturb the independent draws for a given
+// seed (domain draws happen last).
+func TestDomainsPreserveIndependentDraws(t *testing.T) {
+	base := Config{
+		Seed: 21, Horizon: 300, MTBF: 60, Stragglers: 1, StragglerFactor: 1.3,
+		LinkDegradeFrac: 0.3, LinkDegradeFactor: 2,
+	}
+	plain, err := NewPlan(base, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDomains := base
+	withDomains.Topology = hw.Topology{Racks: 2}
+	withDomains.DomainMTBF = 90
+	dom, err := NewPlan(withDomains, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Slowdowns, dom.Slowdowns) {
+		t.Fatal("domains perturbed straggler draws")
+	}
+	if !reflect.DeepEqual(plain.Links, dom.Links) {
+		t.Fatal("domains perturbed link draws")
+	}
+}
+
+// Satellite: Validate rejects malformed plans with legible messages.
+func TestPlanValidateErrors(t *testing.T) {
+	valid := func() *Plan {
+		return &Plan{
+			Config:   Config{Horizon: 100},
+			Replicas: 4,
+			Crashes: []Crash{
+				{Replica: 0, At: 10, RestartAt: 15},
+				{Replica: 0, At: 20, RestartAt: 25},
+			},
+			Domains: []DomainOutage{
+				{Kind: DomainPower, Rack: 0, Zone: -1, Members: []int{0, 1}, Start: 10, End: 15},
+				{Kind: DomainNetwork, Rack: 1, Zone: -1, Members: []int{2, 3}, Start: 30, End: 35},
+			},
+		}
+	}
+	if err := Validate(valid()); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := Validate(nil); err != nil {
+		t.Fatalf("nil plan rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Plan)
+		want string
+	}{
+		{"unknown replica in members",
+			func(p *Plan) { p.Domains[1].Members = []int{2, 7} },
+			"unknown replica"},
+		{"negative member",
+			func(p *Plan) { p.Domains[0].Members = []int{-1, 1} },
+			"unknown replica"},
+		{"overlapping member sets",
+			func(p *Plan) { p.Domains[1].Members = []int{1, 2} },
+			"member sets overlap"},
+		{"inconsistent rack members",
+			func(p *Plan) {
+				p.Domains = append(p.Domains, DomainOutage{
+					Kind: DomainPower, Rack: 0, Zone: -1, Members: []int{0}, Start: 50, End: 55,
+				})
+			},
+			"inconsistent member sets"},
+		{"unsorted members",
+			func(p *Plan) { p.Domains[0].Members = []int{1, 0} },
+			"ascending"},
+		{"empty members",
+			func(p *Plan) { p.Domains[0].Members = nil },
+			"no members"},
+		{"same-rack outages overlap in time",
+			func(p *Plan) {
+				p.Domains = append(p.Domains, DomainOutage{
+					Kind: DomainPower, Rack: 0, Zone: -1, Members: []int{0, 1}, Start: 12, End: 18,
+				})
+			},
+			"overlap in time"},
+		{"mixed kind not materialized",
+			func(p *Plan) { p.Domains[0].Kind = DomainMixed },
+			"materialized"},
+		{"inverted outage window",
+			func(p *Plan) { p.Domains[0].Start, p.Domains[0].End = 15, 10 },
+			"inverted"},
+		{"crash on unknown replica",
+			func(p *Plan) { p.Crashes[0].Replica = 9 },
+			"unknown replica"},
+		{"overlapping crash windows",
+			func(p *Plan) { p.Crashes[1].At = 14 },
+			"overlap"},
+		{"crash at previous restart instant",
+			func(p *Plan) { p.Crashes[1].At = 15 },
+			"overlap"},
+		{"restart before crash",
+			func(p *Plan) { p.Crashes[0].RestartAt = 5 },
+			"before it happens"},
+		{"unordered crashes",
+			func(p *Plan) { p.Crashes[0], p.Crashes[1] = p.Crashes[1], p.Crashes[0] },
+			"not ordered"},
+		{"overlapping link windows",
+			func(p *Plan) { p.Links = []Window{{Start: 0, End: 10, Factor: 2}, {Start: 5, End: 15, Factor: 0}} },
+			"overlap"},
+		{"bad link factor",
+			func(p *Plan) { p.Links = []Window{{Start: 0, End: 10, Factor: 0.5}} },
+			"factor"},
+		{"replica links wrong length",
+			func(p *Plan) { p.ReplicaLinks = make([][]Window, 2) },
+			"link timelines"},
+		{"no replicas",
+			func(p *Plan) { p.Replicas = 0 },
+			"replicas"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid()
+			tc.mut(p)
+			err := Validate(p)
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Domain windows inherit the plan downtime, like crash restarts.
+func TestDomainOutageDuration(t *testing.T) {
+	cfg := Config{
+		Seed: 4, Horizon: 300,
+		Topology:   hw.Topology{Racks: 2},
+		DomainMTBF: 70,
+	}
+	const downtime = 7.0
+	p, err := NewPlan(cfg, 4, downtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range p.Domains {
+		if got := ev.End - ev.Start; math.Abs(got-downtime) > 1e-12 {
+			t.Fatalf("outage length %v, want %v", got, downtime)
+		}
+	}
+	if _, err := NewPlan(cfg, 4, 0); err == nil {
+		t.Fatal("zero downtime accepted for domain outages")
+	}
+}

@@ -68,6 +68,26 @@ type Config struct {
 	// on every replica with this cadence (virtual seconds), so crash
 	// recovery can resume from the checkpoint instead of re-prefilling.
 	CheckpointInterval float64
+
+	// Topology places the fleet's replicas into racks and zones for
+	// correlated domain outages. Required when DomainMTBF > 0; its
+	// Replicas field may be left 0 to adopt the fleet size passed to
+	// NewPlan.
+	Topology hw.Topology
+	// DomainMTBF is each rack's mean time between correlated outage
+	// events in virtual seconds (exponential inter-event gaps, the next
+	// drawn after the previous outage ends); 0 disables domain outages.
+	DomainMTBF float64
+	// DomainKind selects what a domain outage does: DomainPower (every
+	// member crashes together and restarts at the shared window end),
+	// DomainNetwork (members keep serving but their KV links partition
+	// for the window), or DomainMixed (each event draws one of the two
+	// with equal probability). Empty means DomainPower.
+	DomainKind string
+	// ZoneFrac is the probability that a domain outage escalates from
+	// its rack to the rack's whole zone (a power-feed or spine failure
+	// instead of a ToR event); 0 keeps every event rack-scoped.
+	ZoneFrac float64
 }
 
 // Validate reports a configuration error, if any.
@@ -101,6 +121,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("faults: link impairments need a positive Horizon")
 	case c.CheckpointInterval < 0:
 		return fmt.Errorf("faults: CheckpointInterval = %v", c.CheckpointInterval)
+	case c.DomainMTBF < 0:
+		return fmt.Errorf("faults: DomainMTBF = %v", c.DomainMTBF)
+	case c.DomainMTBF > 0 && !c.Topology.Enabled():
+		return fmt.Errorf("faults: DomainMTBF %v needs a topology (racks > 0)", c.DomainMTBF)
+	case c.DomainMTBF > 0 && c.Horizon <= 0:
+		return fmt.Errorf("faults: DomainMTBF %v needs a positive Horizon", c.DomainMTBF)
+	case c.ZoneFrac < 0 || c.ZoneFrac > 1:
+		return fmt.Errorf("faults: ZoneFrac = %v", c.ZoneFrac)
+	}
+	switch c.DomainKind {
+	case "", DomainPower, DomainNetwork, DomainMixed:
+	default:
+		return fmt.Errorf("faults: DomainKind %q (want %q, %q or %q)",
+			c.DomainKind, DomainPower, DomainNetwork, DomainMixed)
+	}
+	if c.Topology.Enabled() && c.Topology.Replicas > 0 {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -109,7 +148,7 @@ func (c Config) Validate() error {
 func (c Config) Enabled() bool {
 	return c.MTBF > 0 || c.Stragglers > 0 ||
 		c.LinkDegradeFrac > 0 || c.LinkPartitionFrac > 0 ||
-		c.CheckpointInterval > 0
+		c.CheckpointInterval > 0 || c.DomainMTBF > 0
 }
 
 // Crash is one scheduled replica failure: the replica dies at At and
@@ -141,8 +180,18 @@ type Plan struct {
 	// Slowdowns[i] is replica i's pass-duration multiplier (0 =
 	// nominal).
 	Slowdowns []float64
-	// Links are the KV-link impairment windows, ordered and disjoint.
+	// Links are the fleet-shared KV-link impairment windows, ordered
+	// and disjoint.
 	Links []Window
+	// Domains are the correlated outage events drawn from the
+	// topology, ordered by (Start, Rack). Power events are already
+	// materialized into Crashes (members merged window-by-window);
+	// network events into ReplicaLinks.
+	Domains []DomainOutage
+	// ReplicaLinks[i], when non-nil, replaces Links for transfers
+	// sourced from replica i: its rack's network-outage partitions
+	// merged over the shared timeline. Nil entries use Links.
+	ReplicaLinks [][]Window
 }
 
 // NewPlan draws a deterministic plan from cfg.Seed for a fleet of
@@ -207,6 +256,14 @@ func NewPlan(cfg Config, replicas int, downtime float64) (*Plan, error) {
 			}
 		}
 	}
+	if cfg.DomainMTBF > 0 {
+		if err := p.drawDomains(rng, downtime); err != nil {
+			return nil, err
+		}
+	}
+	if err := Validate(p); err != nil {
+		return nil, fmt.Errorf("faults: generated plan failed validation: %w", err)
+	}
 	return p, nil
 }
 
@@ -216,7 +273,8 @@ func (p *Plan) Active() bool {
 	if p == nil {
 		return false
 	}
-	if len(p.Crashes) > 0 || len(p.Links) > 0 || p.Config.CheckpointInterval > 0 {
+	if len(p.Crashes) > 0 || len(p.Links) > 0 || len(p.Domains) > 0 ||
+		p.Config.CheckpointInterval > 0 {
 		return true
 	}
 	for _, f := range p.Slowdowns {
@@ -245,26 +303,100 @@ func (p *Plan) MaxRetries() int {
 }
 
 // TransferDone maps a KV transfer starting at start with nominal
-// duration dur onto the impaired link timeline and returns its
+// duration dur onto the shared impaired link timeline and returns its
 // completion instant: inside a degrade window progress runs Factor
 // times slower, inside a partition it stops entirely until the window
 // closes, and outside windows it runs at nominal rate. With no link
 // windows (or a nil plan) this is exactly start + dur.
+//
+// Windows are half-open [Start, End): a window impairs only work
+// strictly inside it, so boundary instants are pinned — a transfer
+// whose remaining work runs out exactly at a window's Start completes
+// at that Start untouched by the window, and a transfer that exactly
+// exhausts a degrade window's capacity completes at that window's End
+// even when a partition abuts it at the same instant (the abutting
+// window never extends it). Completion lands on the shared boundary
+// exactly, not a floating-point neighbour of it.
 func (p *Plan) TransferDone(start, dur float64) float64 {
-	if p == nil || len(p.Links) == 0 || dur <= 0 {
+	if p == nil {
+		return start + dur
+	}
+	return transferDone(p.Links, start, dur)
+}
+
+// TransferDoneFrom is TransferDone on the timeline seen by transfers
+// sourced from the given replica: a replica whose rack is inside a
+// network domain outage sees those partition windows merged over the
+// shared timeline. Replica -1 — or any replica without domain
+// impairments — uses the shared timeline; checkpoint restores from
+// stable storage take that path.
+func (p *Plan) TransferDoneFrom(replica int, start, dur float64) float64 {
+	if p == nil {
+		return start + dur
+	}
+	wins := p.Links
+	if replica >= 0 && replica < len(p.ReplicaLinks) && p.ReplicaLinks[replica] != nil {
+		wins = p.ReplicaLinks[replica]
+	}
+	return transferDone(wins, start, dur)
+}
+
+// PartitionedAt reports whether the replica's KV links sit inside a
+// network domain outage at instant t — replica-scoped partition
+// windows only, half-open [Start, End). Routers use it to skip import
+// targets that cannot receive KV right now; the shared link timeline
+// governs transfer durations instead and is not consulted here.
+func (p *Plan) PartitionedAt(replica int, t float64) bool {
+	if p == nil || replica < 0 || replica >= len(p.ReplicaLinks) {
+		return false
+	}
+	for _, w := range p.ReplicaLinks[replica] {
+		if w.Start > t {
+			return false
+		}
+		if t < w.End && w.Factor == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionLiftsAt returns the instant the partition covering t on the
+// replica's links ends — the earliest moment the replica can receive
+// KV again — or t itself when no partition is active. Routers use it
+// to schedule placement retries instead of stranding work behind a
+// network domain outage.
+func (p *Plan) PartitionLiftsAt(replica int, t float64) float64 {
+	if p == nil || replica < 0 || replica >= len(p.ReplicaLinks) {
+		return t
+	}
+	for _, w := range p.ReplicaLinks[replica] {
+		if w.Start > t {
+			return t
+		}
+		if t < w.End && w.Factor == 0 {
+			return w.End
+		}
+	}
+	return t
+}
+
+// transferDone walks an ordered disjoint window timeline (see
+// TransferDone for the boundary contract).
+func transferDone(wins []Window, start, dur float64) float64 {
+	if len(wins) == 0 || dur <= 0 {
 		return start + dur
 	}
 	t, rem := start, dur
-	for _, w := range p.Links {
-		if rem <= 0 {
-			break
-		}
+	for _, w := range wins {
 		if w.End <= t {
 			continue
 		}
 		if w.Start > t {
 			gap := w.Start - t
 			if rem <= gap {
+				// Done strictly before (or exactly at) the window's
+				// Start: the window does not apply.
 				return t + rem
 			}
 			rem -= gap
@@ -275,13 +407,18 @@ func (p *Plan) TransferDone(start, dur float64) float64 {
 			t = w.End
 			continue
 		}
-		span := w.End - t
-		capacity := span / w.Factor
-		if rem <= capacity {
+		capacity := (w.End - t) / w.Factor
+		if rem < capacity {
 			return t + rem*w.Factor
 		}
 		rem -= capacity
 		t = w.End
+		if rem <= 0 {
+			// Exhausted exactly at the window's End: complete on the
+			// boundary; an abutting window (even a partition starting
+			// at this instant) never extends the transfer.
+			return t
+		}
 	}
 	return t + rem
 }

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/faults"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
@@ -44,12 +46,17 @@ type DisaggConfig struct {
 	// across worker counts.
 	Workers int
 	// Stack attaches a policy stack to the deployment. Disaggregated
-	// serving honors only the Autoscaler component, scoped to the
+	// serving honors two components. Autoscaler is scoped to the
 	// decode pool: DecodeReplicas is the provisioned pool the
 	// autoscaler breathes inside (its Max must fit), and hand-off
-	// placement skips inactive decode replicas. A nil stack — or one
-	// without an autoscaler — keeps the fleet static and takes the
-	// exact pre-policy code path, byte for byte.
+	// placement skips inactive decode replicas. Breaker gives every
+	// replica in both pools a circuit breaker: crashes open a
+	// replica's breaker (one failure per aborted request), finishes
+	// close it, and routing skips breaker-open replicas — falling back
+	// to liveness alone when every live candidate is open, so a
+	// fully-tripped pool degrades instead of stalling. A nil stack —
+	// or one without these components — keeps the fleet static and
+	// takes the exact pre-policy code path, byte for byte.
 	Stack *policy.Stack
 }
 
@@ -171,6 +178,15 @@ type disaggRouter struct {
 	queuedPrefill []int
 	fstats        metrics.FaultStats
 
+	// pBreakers/dBreakers hold per-replica circuit breakers for the
+	// two pools when DisaggConfig.Stack carries a BreakerConfig; nil
+	// keeps routing on the exact pre-breaker code paths. Crashes feed
+	// OnFailure (one per aborted request, at least one per crash),
+	// finishes feed OnSuccess.
+	pBreakers []*policy.Breaker
+	dBreakers []*policy.Breaker
+	astats    metrics.AdmissionStats
+
 	// dpool owns the decode pool's elastic lifecycle when
 	// DisaggConfig.Stack carries an autoscaler; nil keeps the pool
 	// static on the exact pre-policy code paths.
@@ -260,7 +276,7 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 		dpolicy:    dpolicy,
 		reqs:       reqs,
 		blockBytes: float64(blockSize) * cfg.Spec.KVBytesPerToken(),
-		xferTime:   cfg.Node.KVTransferTime,
+		xferTime:   costmodel.KVTransfer(cfg.Node),
 		pOut:       make([]Load, dc.PrefillReplicas),
 		pEntries:   make([][]loadEntry, dc.PrefillReplicas),
 		pShards:    make([]Shard, dc.PrefillReplicas),
@@ -283,6 +299,16 @@ func disaggRun(cfg core.Config, dc DisaggConfig, reqs []workload.Request, plan *
 			coldStart = faults.WeightReloadTime(cfg.Node, cfg.Spec, cfg.World)
 		}
 		ro.dpool = newElasticPool(dc.Stack.Autoscaler, dc.DecodeReplicas, coldStart)
+	}
+	if dc.Stack != nil && dc.Stack.Breaker != nil {
+		ro.pBreakers = make([]*policy.Breaker, dc.PrefillReplicas)
+		for i := range ro.pBreakers {
+			ro.pBreakers[i] = policy.NewBreaker(*dc.Stack.Breaker)
+		}
+		ro.dBreakers = make([]*policy.Breaker, dc.DecodeReplicas)
+		for i := range ro.dBreakers {
+			ro.dBreakers[i] = policy.NewBreaker(*dc.Stack.Breaker)
+		}
 	}
 	for i := range ro.prefill {
 		i := i
@@ -434,7 +460,7 @@ func (ro *disaggRouter) route(r workload.Request, origin int) {
 	if ro.err != nil {
 		return
 	}
-	if ro.plan != nil {
+	if ro.plan != nil || ro.pBreakers != nil {
 		ro.dispatchPrefill(origin)
 		return
 	}
@@ -453,22 +479,43 @@ func (ro *disaggRouter) route(r workload.Request, origin int) {
 	ro.submitPrefill(r, origin, k)
 }
 
-// dispatchPrefill routes origin's request to a live prefill replica
-// (arrivals and crash recompute re-dispatches alike), queueing it when
-// the whole pool is down.
+// dispatchPrefill routes origin's request to a live, breaker-routable
+// prefill replica (arrivals and crash recompute re-dispatches alike),
+// queueing it when the whole pool is down. When every live replica's
+// breaker is open the filter falls back to liveness alone — a
+// fully-tripped pool keeps serving (degraded) instead of stalling
+// arrivals forever.
 func (ro *disaggRouter) dispatchPrefill(origin int) {
 	r := ro.reqs[origin]
+	now := float64(ro.ctl.Now())
 	ro.cand = ro.cand[:0]
 	loads := ro.loads[:0]
-	for i := range ro.prefill {
-		if !ro.prefill[i].Alive() {
-			continue
-		}
+	skips := 0
+	add := func(i int) {
 		l := ro.pOut[i]
 		l.WarmTokens = ro.prefill[i].PrefixWarmTokens(r)
 		l.FreeKVTokens = ro.prefill[i].FreeKVTokens()
 		ro.cand = append(ro.cand, i)
 		loads = append(loads, l)
+	}
+	for i := range ro.prefill {
+		if !ro.prefill[i].Alive() {
+			continue
+		}
+		if ro.pBreakers != nil && !ro.pBreakers[i].Routable(now) {
+			skips++
+			continue
+		}
+		add(i)
+	}
+	if len(ro.cand) == 0 && skips > 0 {
+		for i := range ro.prefill {
+			if ro.prefill[i].Alive() {
+				add(i)
+			}
+		}
+	} else {
+		ro.astats.BreakerSkips += skips
 	}
 	if len(ro.cand) == 0 {
 		ro.queuedPrefill = append(ro.queuedPrefill, origin)
@@ -479,7 +526,12 @@ func (ro *disaggRouter) dispatchPrefill(origin int) {
 		ro.err = fmt.Errorf("fleet: policy %q picked prefill candidate %d of %d", ro.ppolicy.Name(), j, len(ro.cand))
 		return
 	}
-	ro.submitPrefill(r, origin, ro.cand[j])
+	k := ro.cand[j]
+	if ro.pBreakers != nil {
+		// Consume the half-open probe slot if the pick is probing.
+		ro.pBreakers[k].Allow(now)
+	}
+	ro.submitPrefill(r, origin, k)
 }
 
 // submitPrefill lands one request on prefill replica k and records the
@@ -488,6 +540,13 @@ func (ro *disaggRouter) submitPrefill(r workload.Request, origin, k int) {
 	cost := ro.ppolicy.Cost(r)
 	local, err := ro.prefill[k].Submit(r)
 	if err != nil {
+		if ro.plan != nil && errors.Is(err, core.ErrRequestTooLarge) {
+			// A fault run is allowed to lose requests, never to lose
+			// them silently: an unservable request drops with a reason
+			// instead of failing the whole run.
+			ro.drop(origin, err.Error())
+			return
+		}
 		ro.err = fmt.Errorf("fleet: prefill replica %d rejected request %d: %w", k, origin, err)
 		return
 	}
@@ -520,6 +579,11 @@ func (ro *disaggRouter) prefillFinished(replica, local int) {
 	if ro.fin != nil {
 		ro.fin[ro.pShards[replica].Origin[local]]++
 	}
+	if ro.pBreakers != nil {
+		// Trip accounting is summed from Trips() at assemble; the
+		// hook must not touch the shared stats struct.
+		ro.pBreakers[replica].OnSuccess(float64(ro.prefill[replica].Now()))
+	}
 }
 
 // handoff receives a prefill-completed request (drained canonically at
@@ -543,7 +607,10 @@ func (ro *disaggRouter) handoff(replica int, h core.Handoff) {
 	ro.moved += bytes
 	done := float64(h.At) + ro.xferTime(bytes)
 	if ro.plan != nil {
-		done = ro.plan.TransferDone(float64(h.At), ro.xferTime(bytes))
+		// The export crosses the source replica's link timeline: a
+		// prefill replica inside a network domain outage stalls its
+		// hand-offs until the partition lifts.
+		done = ro.plan.TransferDoneFrom(replica, float64(h.At), ro.xferTime(bytes))
 	}
 	ro.ctl.AtFunc(sim.Time(done), transferDoneEvent, ro, len(ro.items)-1, 0)
 }
@@ -562,24 +629,65 @@ func transferDoneEvent(ctx any, item, _ int) {
 }
 
 // place admits a transferred hand-off on a decode replica, if any has
-// headroom for the import. Replicas that cannot import are filtered
-// out before the decode-affinity pick ranks the rest.
+// headroom for the import. Replicas that cannot import — dead,
+// drained, out of KV headroom, or inside a network domain outage —
+// are filtered out before the decode-affinity pick ranks the rest;
+// breaker-open replicas are skipped too, falling back to the
+// importable set when every importable breaker is open.
 func (ro *disaggRouter) place(item int) bool {
 	it := &ro.items[item]
 	r := ro.reqs[it.origin]
+	now := float64(ro.ctl.Now())
 	ro.cand = ro.cand[:0]
 	loads := ro.loads[:0]
-	for i := range ro.decode {
-		if !ro.dpool.routable(i) || !ro.decode[i].Alive() || !ro.decode[i].CanImportKV(it.h.KV) {
-			continue
-		}
+	skips := 0
+	add := func(i int) {
 		l := ro.dOut[i]
 		l.WarmTokens = ro.decode[i].ResidentKVTokens(it.h.KV)
 		l.FreeKVTokens = ro.decode[i].FreeKVTokens()
 		ro.cand = append(ro.cand, i)
 		loads = append(loads, l)
 	}
+	// lift is the earliest instant a partition excluding a replica
+	// here will end; a placement retry is scheduled there so work is
+	// never stranded behind an outage that outlives the decode pool's
+	// finish stream.
+	lift := -1.0
+	importable := func(i int) bool {
+		if !ro.dpool.routable(i) || !ro.decode[i].Alive() || !ro.decode[i].CanImportKV(it.h.KV) {
+			return false
+		}
+		if ro.plan.PartitionedAt(len(ro.prefill)+i, now) {
+			if end := ro.plan.PartitionLiftsAt(len(ro.prefill)+i, now); lift < 0 || end < lift {
+				lift = end
+			}
+			return false
+		}
+		return true
+	}
+	for i := range ro.decode {
+		if !importable(i) {
+			continue
+		}
+		if ro.dBreakers != nil && !ro.dBreakers[i].Routable(now) {
+			skips++
+			continue
+		}
+		add(i)
+	}
+	if len(ro.cand) == 0 && skips > 0 {
+		for i := range ro.decode {
+			if importable(i) {
+				add(i)
+			}
+		}
+	} else {
+		ro.astats.BreakerSkips += skips
+	}
 	if len(ro.cand) == 0 {
+		if lift > now {
+			ro.ctl.AtFunc(sim.Time(lift), drainPendingEvent, ro, 0, 0)
+		}
 		return false
 	}
 	j := ro.dpolicy.Pick(r, loads)
@@ -588,8 +696,22 @@ func (ro *disaggRouter) place(item int) bool {
 		return true
 	}
 	k := ro.cand[j]
+	if ro.dBreakers != nil {
+		// Consume the half-open probe slot if the pick is probing.
+		ro.dBreakers[k].Allow(now)
+	}
 	local, err := ro.decode[k].SubmitDecoded(r, it.h)
 	if err != nil {
+		if ro.plan != nil {
+			// The import failed at arrival — the target died or lost
+			// its headroom in this very instant. Re-enter the
+			// lifecycle through the prefill pool with recompute on the
+			// same attempt instead of stranding the request (an
+			// oversized request drops inside submitPrefill).
+			ro.fstats.RecoveredRecompute++
+			ro.dispatchPrefill(it.origin)
+			return true
+		}
 		ro.err = fmt.Errorf("fleet: import on decode replica %d: %w", k, err)
 		return true
 	}
@@ -617,6 +739,9 @@ func (ro *disaggRouter) decodeFinished(replica, local int) {
 	ro.retireDecode(replica, local)
 	if ro.fin != nil {
 		ro.fin[ro.dShards[replica].Origin[local]]++
+	}
+	if ro.dBreakers != nil {
+		ro.dBreakers[replica].OnSuccess(float64(ro.decode[replica].Now()))
 	}
 	if ro.dpool != nil && ro.dOut[replica].Requests == 0 {
 		ro.dpool.noteDrained(replica, float64(ro.decode[replica].Now()))
@@ -694,8 +819,30 @@ func disaggCrashEvent(ctx any, ci, _ int) {
 		ro.err = fmt.Errorf("fleet: crash of replica %d: %w", c.Replica, err)
 		return
 	}
+	if b := ro.breakerFor(c.Replica); b != nil {
+		// A crash is a failure signal per aborted request — at least
+		// one even when the replica was idle — so repeated outages
+		// open the breaker and routing stops probing the replica.
+		now := float64(ro.ctl.Now())
+		for i := 0; i < max(len(lost), 1); i++ {
+			b.OnFailure(now)
+		}
+	}
 	for i, l := range lost {
 		ro.recover(origins[i], l)
+	}
+}
+
+// breakerFor maps a fleet-global replica index to its pool's breaker,
+// nil when breakers are off.
+func (ro *disaggRouter) breakerFor(replica int) *policy.Breaker {
+	switch {
+	case ro.pBreakers == nil:
+		return nil
+	case replica < len(ro.prefill):
+		return ro.pBreakers[replica]
+	default:
+		return ro.dBreakers[replica-len(ro.prefill)]
 	}
 }
 
@@ -840,10 +987,28 @@ func (ro *disaggRouter) assemble(cfg core.Config, dc DisaggConfig, results []*co
 	if rep.Elapsed > 0 && rep.GPUs > 0 {
 		rep.MeanUtilization = busy / (rep.Elapsed * float64(rep.GPUs))
 	}
+	ro.addBreakerStats(&rep)
 	rep.BubbleRatio = 1 - rep.MeanUtilization
 	rep.Latency = metrics.Digest(records, cfg.SLO)
 	res.Report = rep
 	return res, nil
+}
+
+// addBreakerStats folds routing-time breaker activity and the trip
+// count into the report's admission stats (a no-op zero value when
+// breakers are off, so pre-breaker reports stay byte-identical).
+func (ro *disaggRouter) addBreakerStats(rep *metrics.Report) {
+	if ro.pBreakers != nil {
+		trips := 0
+		for _, b := range ro.pBreakers {
+			trips += b.Trips()
+		}
+		for _, b := range ro.dBreakers {
+			trips += b.Trips()
+		}
+		ro.astats.BreakerTrips = trips
+	}
+	rep.Admission = ro.astats
 }
 
 // assembleFaults builds the result of a fault-injected run. The
@@ -925,7 +1090,9 @@ func (ro *disaggRouter) assembleFaults(cfg core.Config, dc DisaggConfig, results
 		}
 		busy += rr.MeanUtilization * rr.Elapsed * float64(rr.GPUs)
 	}
+	ro.fstats.DomainOutages = len(ro.plan.Domains)
 	rep.Faults.Add(ro.fstats)
+	ro.addBreakerStats(&rep)
 	if rep.Elapsed > 0 && rep.GPUs > 0 {
 		rep.MeanUtilization = busy / (rep.Elapsed * float64(rep.GPUs))
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/faults"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
@@ -104,7 +105,7 @@ func RunOnlineFaultsWorkers(cfg core.Config, replicas int, p Policy, reqs []work
 		attempts:      make([]int, len(reqs)),
 		droppedReason: make([]string, len(reqs)),
 		blockBytes:    float64(blockSize) * cfg.Spec.KVBytesPerToken(),
-		xferTime:      cfg.Node.KVTransferTime,
+		xferTime:      costmodel.KVTransfer(cfg.Node),
 	}
 	for i := range engines {
 		i := i
@@ -316,10 +317,14 @@ func (ro *frouter) recover(origin int, l core.Lost) {
 	}
 	if l.Ckpt != nil {
 		// Checkpoint resume: the snapshot reloads from stable storage
-		// over the KV link before it can be re-imported.
+		// over the KV link before it can be re-imported. The reload
+		// rides the shared link timeline (TransferDoneFrom with no
+		// source replica), so link degradation and partitions stretch
+		// or stall it like any other transfer.
 		ro.items = append(ro.items, pendingRec{origin: origin, lost: l})
 		bytes := float64(l.Ckpt.KV.Blocks()) * ro.blockBytes
-		ro.ctl.AtFunc(ro.ctl.Now()+sim.Time(ro.xferTime(bytes)), fresumeEvent, ro, len(ro.items)-1, 0)
+		done := ro.plan.TransferDoneFrom(-1, float64(ro.ctl.Now()), ro.xferTime(bytes))
+		ro.ctl.AtFunc(sim.Time(done), fresumeEvent, ro, len(ro.items)-1, 0)
 		return
 	}
 	ro.fstats.RecoveredRecompute++
@@ -350,8 +355,12 @@ func fresumeEvent(ctx any, item, _ int) {
 	}
 	ro.cand = ro.cand[:0]
 	loads := ro.loads[:0]
+	now := float64(ro.ctl.Now())
 	for i := range ro.engines {
-		if !ro.engines[i].Alive() || !ro.engines[i].CanImportKV(ck.KV) {
+		// A replica inside a network domain outage keeps serving but
+		// cannot receive KV, so it is no import target.
+		if !ro.engines[i].Alive() || !ro.engines[i].CanImportKV(ck.KV) ||
+			ro.plan.PartitionedAt(i, now) {
 			continue
 		}
 		ld := ro.outstanding[i]
@@ -377,7 +386,14 @@ func fresumeEvent(ctx any, item, _ int) {
 	k := ro.cand[j]
 	local, err := ro.engines[k].SubmitDecoded(r, h)
 	if err != nil {
-		ro.err = fmt.Errorf("fleet: checkpoint import on replica %d: %w", k, err)
+		// The import failed at arrival — the target died or lost its
+		// headroom in this very instant. Re-enter recovery with
+		// recompute on the same attempt instead of stranding the
+		// request (an oversized request drops inside dispatch).
+		noCkpt := it.lost
+		noCkpt.Ckpt = nil
+		ro.fstats.RecoveredRecompute++
+		ro.dispatch(it.origin, pendingRec{origin: it.origin, lost: noCkpt})
 		return
 	}
 	ro.fstats.RecoveredCheckpoint++
@@ -478,6 +494,7 @@ func (ro *frouter) assemble(cfg core.Config, results []*core.Result) (*Result, e
 		}
 		busy += rr.MeanUtilization * rr.Elapsed * float64(rr.GPUs)
 	}
+	ro.fstats.DomainOutages = len(ro.plan.Domains)
 	rep.Faults.Add(ro.fstats)
 	if rep.Elapsed > 0 && rep.GPUs > 0 {
 		rep.MeanUtilization = busy / (rep.Elapsed * float64(rep.GPUs))

@@ -118,25 +118,9 @@ func (n Node) P2PTime(bytes float64) float64 {
 	return n.P2PLatency + bytes/(n.P2PGBps*1e9)
 }
 
-// KVTransferTime returns the time to migrate bytes of KV cache to a
-// peer replica in a disaggregated prefill/decode hand-off: the fixed
-// link latency plus the payload over the KV-link bandwidth. The
-// fallback chain is: explicit KV link, else the P2P parameters, else
-// (no usable bandwidth anywhere — an unvalidated node) the applicable
-// fixed latency alone, so the result is always finite.
-func (n Node) KVTransferTime(bytes float64) float64 {
-	if bytes <= 0 {
-		return 0
-	}
-	bw, lat := n.KVLinkGBps, n.KVLinkLatency
-	if bw <= 0 {
-		bw, lat = n.P2PGBps, n.P2PLatency
-	}
-	if bw <= 0 {
-		return lat
-	}
-	return lat + bytes/(bw*1e9)
-}
+// The time to migrate KV-cache bytes over the KV link (checkpoints,
+// disaggregated hand-offs) is priced by costmodel.KVTransfer, which
+// owns the one canonical transfer formula; hw only declares the link.
 
 // Table 1 of the paper, plus interconnect characteristics measured
 // there. P2P bandwidth through a PCIe 4.0 switch with GPUDirect is set

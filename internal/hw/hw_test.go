@@ -106,41 +106,14 @@ func TestP2PTime(t *testing.T) {
 	}
 }
 
-// The KV hand-off link: latency + payload/bandwidth, with a fallback
-// to the P2P parameters for nodes without an explicit KV link.
-func TestKVTransferTime(t *testing.T) {
-	n := A100 // 25 GB/s, 50 µs
-	if got := n.KVTransferTime(0); got != 0 {
-		t.Errorf("empty transfer = %v, want 0", got)
-	}
-	want := 50e-6 + 5e9/25e9
-	if got := n.KVTransferTime(5e9); math.Abs(got-want) > 1e-15 {
-		t.Errorf("kv transfer = %v, want %v", got, want)
-	}
-	fallback := n
-	fallback.KVLinkGBps, fallback.KVLinkLatency = 0, 0
-	if got, p2p := fallback.KVTransferTime(5e9), n.P2PTime(5e9); math.Abs(got-p2p) > 1e-15 {
-		t.Errorf("fallback transfer = %v, want p2p %v", got, p2p)
-	}
-	if !(TestNode.KVTransferTime(1e9) > 0) {
-		t.Error("test node transfer not positive")
-	}
-}
-
-// An unvalidated node with no bandwidth anywhere must still produce
-// finite times (the end of the fallback chain is latency-only), never
-// +Inf that would poison virtual-time schedules.
+// An unvalidated node with no P2P bandwidth must still produce finite
+// times (latency-only), never +Inf that would poison virtual-time
+// schedules. The KV-link equivalent lives in costmodel, which owns the
+// transfer formula.
 func TestTransferTimesFiniteWithoutBandwidth(t *testing.T) {
-	n := Node{P2PLatency: 10e-6, KVLinkLatency: 50e-6}
+	n := Node{P2PLatency: 10e-6}
 	if got := n.P2PTime(1e9); math.IsInf(got, 1) || math.IsNaN(got) || got != 10e-6 {
 		t.Errorf("bandwidth-less P2PTime = %v, want the bare latency", got)
-	}
-	if got := n.KVTransferTime(1e9); math.IsInf(got, 1) || math.IsNaN(got) || got != 10e-6 {
-		t.Errorf("bandwidth-less KVTransferTime = %v, want the P2P fallback latency", got)
-	}
-	n.KVLinkGBps = 25
-	if got := n.KVTransferTime(1e9); math.IsInf(got, 1) || math.IsNaN(got) {
-		t.Errorf("KV-link-only transfer = %v, want finite", got)
 	}
 }
 

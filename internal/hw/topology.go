@@ -1,0 +1,108 @@
+package hw
+
+import "fmt"
+
+// Topology places a fleet's replicas into physical failure domains:
+// replicas fill racks in balanced contiguous blocks, and consecutive
+// racks group into zones. It is the substrate for correlated failure
+// injection (a rack power event or ToR switch failure takes out every
+// member at once) — the zero value means "no domain structure", i.e.
+// every replica fails independently.
+//
+// The mapping is deterministic and purely arithmetic: rack r holds
+// replicas [ceil boundaries of r*Replicas/Racks, (r+1)*Replicas/Racks),
+// so racks differ in size by at most one replica and the assignment
+// never depends on iteration order.
+type Topology struct {
+	// Replicas is the fleet size the topology covers.
+	Replicas int
+	// Racks is the number of rack-level failure domains. Zero disables
+	// the topology (Enabled reports false).
+	Racks int
+	// RacksPerZone groups that many consecutive racks into one
+	// zone-level domain. Zero (or >= Racks) means a single zone.
+	RacksPerZone int
+}
+
+// Enabled reports whether the topology defines any domain structure.
+func (t Topology) Enabled() bool { return t.Racks > 0 }
+
+// Validate reports a configuration error, if any. The zero value is
+// valid (disabled).
+func (t Topology) Validate() error {
+	if !t.Enabled() {
+		if t.RacksPerZone != 0 {
+			return fmt.Errorf("hw: topology has %d racks/zone but no racks", t.RacksPerZone)
+		}
+		return nil
+	}
+	switch {
+	case t.Replicas <= 0:
+		return fmt.Errorf("hw: topology has %d racks but %d replicas", t.Racks, t.Replicas)
+	case t.Racks > t.Replicas:
+		return fmt.Errorf("hw: topology has more racks (%d) than replicas (%d)", t.Racks, t.Replicas)
+	case t.RacksPerZone < 0:
+		return fmt.Errorf("hw: topology has negative racks/zone (%d)", t.RacksPerZone)
+	}
+	return nil
+}
+
+// racksPerZone normalizes the zero/oversized cases to "one zone".
+func (t Topology) racksPerZone() int {
+	if t.RacksPerZone <= 0 || t.RacksPerZone > t.Racks {
+		return t.Racks
+	}
+	return t.RacksPerZone
+}
+
+// Zones returns the number of zone-level domains (the last zone may
+// hold fewer racks).
+func (t Topology) Zones() int {
+	if !t.Enabled() {
+		return 0
+	}
+	rpz := t.racksPerZone()
+	return (t.Racks + rpz - 1) / rpz
+}
+
+// Rack returns the rack holding the given replica.
+func (t Topology) Rack(replica int) int {
+	return replica * t.Racks / t.Replicas
+}
+
+// Zone returns the zone holding the given rack.
+func (t Topology) Zone(rack int) int { return rack / t.racksPerZone() }
+
+// RackMembers returns the replicas in the given rack, ascending.
+func (t Topology) RackMembers(rack int) []int {
+	lo := (rack*t.Replicas + t.Racks - 1) / t.Racks
+	hi := ((rack+1)*t.Replicas + t.Racks - 1) / t.Racks
+	// The balanced contiguous mapping guarantees lo < hi for every
+	// valid rack when Racks <= Replicas.
+	members := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		if t.Rack(r) == rack {
+			members = append(members, r)
+		}
+	}
+	return members
+}
+
+// ZoneMembers returns the replicas in every rack of the given zone,
+// ascending.
+func (t Topology) ZoneMembers(zone int) []int {
+	rpz := t.racksPerZone()
+	var members []int
+	for rack := zone * rpz; rack < (zone+1)*rpz && rack < t.Racks; rack++ {
+		members = append(members, t.RackMembers(rack)...)
+	}
+	return members
+}
+
+// String renders the domain shape, e.g. "8 replicas / 4 racks / 2 zones".
+func (t Topology) String() string {
+	if !t.Enabled() {
+		return "no topology"
+	}
+	return fmt.Sprintf("%d replicas / %d racks / %d zones", t.Replicas, t.Racks, t.Zones())
+}

@@ -1,0 +1,122 @@
+package hw
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopologyDisabled(t *testing.T) {
+	var z Topology
+	if z.Enabled() {
+		t.Error("zero topology enabled")
+	}
+	if err := z.Validate(); err != nil {
+		t.Errorf("zero topology invalid: %v", err)
+	}
+	if z.Zones() != 0 {
+		t.Errorf("zero topology has %d zones", z.Zones())
+	}
+	if z.String() != "no topology" {
+		t.Errorf("String = %q", z.String())
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		top Topology
+		ok  bool
+	}{
+		{Topology{Replicas: 8, Racks: 4, RacksPerZone: 2}, true},
+		{Topology{Replicas: 4, Racks: 4}, true},
+		{Topology{Replicas: 3, Racks: 2}, true},
+		{Topology{Replicas: 0, Racks: 2}, false}, // racks but no replicas
+		{Topology{Replicas: 2, Racks: 4}, false}, // more racks than replicas
+		{Topology{Replicas: 4, Racks: 2, RacksPerZone: -1}, false},
+		{Topology{RacksPerZone: 2}, false}, // zones without racks
+	}
+	for _, c := range cases {
+		if err := c.top.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.top, err, c.ok)
+		}
+	}
+}
+
+// The contiguous balanced mapping: racks differ in size by at most
+// one, every replica lands in exactly one rack, members are ascending.
+func TestTopologyRackMapping(t *testing.T) {
+	for _, shape := range []Topology{
+		{Replicas: 8, Racks: 4},
+		{Replicas: 7, Racks: 3},
+		{Replicas: 5, Racks: 5},
+		{Replicas: 12, Racks: 4, RacksPerZone: 2},
+		{Replicas: 1, Racks: 1},
+	} {
+		if err := shape.Validate(); err != nil {
+			t.Fatalf("shape %+v invalid: %v", shape, err)
+		}
+		seen := make(map[int]int)
+		minSize, maxSize := shape.Replicas, 0
+		for rack := 0; rack < shape.Racks; rack++ {
+			members := shape.RackMembers(rack)
+			if len(members) == 0 {
+				t.Errorf("%v: rack %d empty", shape, rack)
+			}
+			if len(members) < minSize {
+				minSize = len(members)
+			}
+			if len(members) > maxSize {
+				maxSize = len(members)
+			}
+			for i, m := range members {
+				if i > 0 && m <= members[i-1] {
+					t.Errorf("%v: rack %d members not ascending: %v", shape, rack, members)
+				}
+				if got := shape.Rack(m); got != rack {
+					t.Errorf("%v: Rack(%d) = %d, want %d", shape, m, got, rack)
+				}
+				seen[m]++
+			}
+		}
+		if maxSize-minSize > 1 {
+			t.Errorf("%v: rack sizes unbalanced (min %d, max %d)", shape, minSize, maxSize)
+		}
+		if len(seen) != shape.Replicas {
+			t.Errorf("%v: %d replicas assigned, want %d", shape, len(seen), shape.Replicas)
+		}
+		for m, n := range seen {
+			if n != 1 {
+				t.Errorf("%v: replica %d in %d racks", shape, m, n)
+			}
+		}
+	}
+}
+
+func TestTopologyZones(t *testing.T) {
+	top := Topology{Replicas: 12, Racks: 4, RacksPerZone: 2}
+	if top.Zones() != 2 {
+		t.Fatalf("Zones = %d, want 2", top.Zones())
+	}
+	if top.Zone(0) != 0 || top.Zone(1) != 0 || top.Zone(2) != 1 || top.Zone(3) != 1 {
+		t.Errorf("zone mapping wrong: %d %d %d %d", top.Zone(0), top.Zone(1), top.Zone(2), top.Zone(3))
+	}
+	want := append(top.RackMembers(2), top.RackMembers(3)...)
+	if got := top.ZoneMembers(1); !reflect.DeepEqual(got, want) {
+		t.Errorf("ZoneMembers(1) = %v, want %v", got, want)
+	}
+	// Uneven split: 3 racks, 2 per zone → 2 zones, the last with 1 rack.
+	odd := Topology{Replicas: 6, Racks: 3, RacksPerZone: 2}
+	if odd.Zones() != 2 {
+		t.Errorf("odd Zones = %d, want 2", odd.Zones())
+	}
+	if got := odd.ZoneMembers(1); !reflect.DeepEqual(got, odd.RackMembers(2)) {
+		t.Errorf("odd ZoneMembers(1) = %v, want rack 2's %v", got, odd.RackMembers(2))
+	}
+	// Default: everything in one zone.
+	one := Topology{Replicas: 8, Racks: 4}
+	if one.Zones() != 1 {
+		t.Errorf("default Zones = %d, want 1", one.Zones())
+	}
+	if got := one.ZoneMembers(0); len(got) != 8 {
+		t.Errorf("default ZoneMembers(0) = %v, want all 8", got)
+	}
+}

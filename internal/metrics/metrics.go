@@ -247,6 +247,10 @@ type FaultStats struct {
 	// replica when it crashed — generation work recovery must redo
 	// (checkpoint resumes redo only the post-checkpoint suffix).
 	LostOutputTokens int
+	// DomainOutages counts correlated failure-domain events (rack or
+	// zone power / network outages) the plan materialized, as opposed
+	// to the independent per-replica draws counted by Crashes.
+	DomainOutages int
 }
 
 // Any reports whether any fault activity was recorded.
@@ -262,6 +266,7 @@ func (f *FaultStats) Add(o FaultStats) {
 	f.RecoveredCheckpoint += o.RecoveredCheckpoint
 	f.Dropped += o.Dropped
 	f.LostOutputTokens += o.LostOutputTokens
+	f.DomainOutages += o.DomainOutages
 }
 
 // AutoscaleStats accounts one run's elastic replica-count activity.

@@ -120,7 +120,6 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 
 	// Host KV capacity bounds the per-instance batch.
 	hostKVTokens := cfg.HostMemGB * 1e9 / cfg.Spec.KVBytesPerToken()
-	perGPULink := cfg.HostLinkGBps * 1e9 / float64(cfg.GPUs)
 
 	// Split requests round-robin over instances.
 	shards := make([][]workload.Request, cfg.GPUs)
@@ -138,7 +137,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	var maxElapsed, busy float64
 	var streamed float64
 	for _, shard := range shards {
-		elapsed, gpuBusy := runInstance(cfg, cm, shard, streamedWeights, perGPULink, hostKVTokens, &streamed)
+		elapsed, gpuBusy := runInstance(cfg, cm, shard, streamedWeights, hostKVTokens, &streamed)
 		if elapsed > maxElapsed {
 			maxElapsed = elapsed
 		}
@@ -161,9 +160,11 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 }
 
 // runInstance processes one instance's requests in generations and
-// returns (elapsed seconds, GPU-busy seconds).
+// returns (elapsed seconds, GPU-busy seconds). Host-link streaming is
+// priced by the shared transfer formula: the aggregate root-complex
+// bandwidth divided among the GPUs contending for it.
 func runInstance(cfg Config, cm *costmodel.Model, shard []workload.Request,
-	streamedWeights, linkBW, hostKVTokens float64, streamedOut *float64) (elapsed, busy float64) {
+	streamedWeights, hostKVTokens float64, streamedOut *float64) (elapsed, busy float64) {
 	spec := cfg.Spec
 	for start := 0; start < len(shard); start += cfg.BatchPerGPU {
 		end := start + cfg.BatchPerGPU
@@ -185,7 +186,7 @@ func runInstance(cfg Config, cm *costmodel.Model, shard []workload.Request,
 		}
 		b := costmodel.NewPrefillBatch(lens)
 		comp, _ := cm.TPPrefill(1, b)
-		xfer := streamedWeights / linkBW
+		xfer := costmodel.TransferTime(streamedWeights, cfg.HostLinkGBps, cfg.GPUs, 0)
 		step := comp
 		if xfer > step {
 			step = xfer
@@ -215,7 +216,7 @@ func runInstance(cfg Config, cm *costmodel.Model, shard []workload.Request,
 			}
 			comp, _ := cm.TPDecode(1, live, stepKV)
 			hostBytes := streamedWeights + float64(stepKV)*spec.KVBytesPerToken()
-			xfer := hostBytes / linkBW
+			xfer := costmodel.TransferTime(hostBytes, cfg.HostLinkGBps, cfg.GPUs, 0)
 			step := comp
 			if xfer > step {
 				step = xfer

@@ -311,13 +311,33 @@ func RunFleetElasticWorkers(cfg Config, replicas int, policyName string, reqs []
 type (
 	// FaultConfig parameterizes a seeded fault plan: crash MTBF and
 	// restart delay, straggler count and slowdown, KV-link impairment
-	// windows, and the periodic KV checkpoint cadence.
+	// windows, the periodic KV checkpoint cadence, and (with a Topology
+	// and DomainMTBF) correlated rack/zone domain outages.
 	FaultConfig = faults.Config
 	// FaultPlan is a fully materialized, deterministic failure schedule
 	// drawn from a FaultConfig seed.
 	FaultPlan = faults.Plan
 	// FaultStats is the recovery accounting attached to Report.Faults.
 	FaultStats = metrics.FaultStats
+	// Topology maps fleet replicas onto racks and zones; set it on a
+	// FaultConfig (with DomainMTBF) to draw correlated domain outages
+	// on top of the independent per-replica schedule.
+	Topology = hw.Topology
+	// DomainOutage is one materialized correlated failure event in
+	// FaultPlan.Domains: a rack or zone losing power (members crash
+	// together) or network (members serve but their KV links partition).
+	DomainOutage = faults.DomainOutage
+)
+
+// Correlated-outage kinds for FaultConfig.DomainKind.
+const (
+	// DomainPower crashes every domain member together.
+	DomainPower = faults.DomainPower
+	// DomainNetwork partitions every member's KV links while the
+	// members keep serving.
+	DomainNetwork = faults.DomainNetwork
+	// DomainMixed draws power or network per event.
+	DomainMixed = faults.DomainMixed
 )
 
 // NewFaultPlan draws the deterministic failure schedule for a fleet of
