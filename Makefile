@@ -7,13 +7,23 @@ FUZZTIME ?= 30s
 # artifacts accumulate into a perf trajectory).
 BENCH_N ?= local
 
-.PHONY: build vet fmt-check lint-docs test race chaos bench bench-json bench-compare fuzz smoke ci
+.PHONY: build vet fmt-check detlint lint-docs test race chaos bench bench-json bench-compare fuzz smoke ci
 
 build:
 	$(GO) build ./...
 
-vet: fmt-check
+vet: fmt-check detlint
 	$(GO) vet ./...
+
+# Determinism & hot-path lint: cmd/detlint type-checks every package
+# (stdlib source importer, no external linter) and enforces the
+# simulator's invariants at compile time — no wall clock or global
+# math/rand in simulation packages, no goroutines/select outside the
+# parallel fabric, no order-sensitive map iteration, no allocations in
+# //det:hotpath functions. Suppressions are audited //det:ignore
+# directives with mandatory reasons. Any finding exits 1.
+detlint:
+	$(GO) run ./cmd/detlint .
 
 # Fail on any file gofmt would rewrite.
 fmt-check:

@@ -1,31 +1,28 @@
 // Command lintdocs checks that every exported identifier in the given
 // package directories carries a godoc comment. It is the `make
-// lint-docs` gate: a go/ast walk with no configuration, so the doc
-// contract ("exported means documented") cannot drift from whatever a
-// third-party linter happens to enforce.
+// lint-docs` gate, now a thin front end over the internal/analysis
+// framework's Docs analyzer: the same loader cmd/detlint uses parses
+// the tree (in parse-only mode — the doc contract needs no type
+// information), so both linters share one walk and one set of
+// exemption rules (testdata, vendor, dot-directories, test files).
 //
 // Usage:
 //
 //	lintdocs [-r] dir [dir...]
 //
-// With -r each directory is walked recursively (skipping testdata and
-// dot-directories). Test files are ignored. Grouped declarations
+// With -r each directory is walked recursively. Grouped declarations
 // (const/var/type blocks) pass when the block itself is documented.
 // Exit status 1 when any exported identifier is undocumented, listing
-// each as file:line: name.
+// each as "file:line: [docs] exported Name has no doc comment".
 package main
 
 import (
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
+
+	"repro/internal/analysis"
 )
 
 func main() {
@@ -35,117 +32,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: lintdocs [-r] dir [dir...]")
 		os.Exit(2)
 	}
-	var dirs []string
-	for _, root := range flag.Args() {
-		if !*recurse {
-			dirs = append(dirs, root)
-			continue
-		}
-		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
-				return filepath.SkipDir
-			}
-			dirs = append(dirs, path)
-			return nil
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lintdocs:", err)
-			os.Exit(2)
-		}
+	loader := analysis.NewLoader(false)
+	pkgs, err := loader.Load(*recurse, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintdocs:", err)
+		os.Exit(2)
 	}
-
-	var missing []string
-	for _, dir := range dirs {
-		m, err := checkDir(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lintdocs:", err)
-			os.Exit(2)
+	findings := analysis.Run(pkgs, []*analysis.Analyzer{analysis.Docs})
+	wd, _ := os.Getwd()
+	for _, f := range findings {
+		path := f.Pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, path); err == nil && !filepath.IsAbs(rel) {
+				path = rel
+			}
 		}
-		missing = append(missing, m...)
+		fmt.Printf("%s:%d: [%s] %s\n", path, f.Pos.Line, f.Analyzer, f.Message)
 	}
-	if len(missing) > 0 {
-		sort.Strings(missing)
-		for _, m := range missing {
-			fmt.Println(m)
-		}
-		fmt.Fprintf(os.Stderr, "lintdocs: %d exported identifiers without doc comments\n", len(missing))
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lintdocs: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
-}
-
-// checkDir parses every non-test Go file in dir and returns one
-// "file:line: name" entry per undocumented exported identifier.
-func checkDir(dir string) ([]string, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	var missing []string
-	report := func(pos token.Pos, name string) {
-		p := fset.Position(pos)
-		missing = append(missing, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, name))
-	}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					if !d.Name.IsExported() || d.Doc != nil {
-						continue
-					}
-					// Methods on unexported types are unreachable from
-					// other packages unless the type leaks through an
-					// exported API; hold them to the same standard.
-					report(d.Pos(), funcName(d))
-				case *ast.GenDecl:
-					if d.Doc != nil {
-						continue // a block doc covers every spec inside
-					}
-					for _, spec := range d.Specs {
-						switch s := spec.(type) {
-						case *ast.TypeSpec:
-							if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
-								report(s.Pos(), s.Name.Name)
-							}
-						case *ast.ValueSpec:
-							if s.Doc != nil || s.Comment != nil {
-								continue
-							}
-							for _, n := range s.Names {
-								if n.IsExported() {
-									report(n.Pos(), n.Name)
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return missing, nil
-}
-
-// funcName renders a method as Recv.Name and a function as Name.
-func funcName(d *ast.FuncDecl) string {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return d.Name.Name
-	}
-	t := d.Recv.List[0].Type
-	if star, ok := t.(*ast.StarExpr); ok {
-		t = star.X
-	}
-	if id, ok := t.(*ast.Ident); ok {
-		return id.Name + "." + d.Name.Name
-	}
-	return d.Name.Name
 }

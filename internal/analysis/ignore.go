@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignoreDirective is the audited suppression syntax:
+// //det:ignore <analyzer> <reason...>. The directive silences that
+// analyzer's findings on its own line and on the line immediately
+// below, so it reads either trailing the offending expression or on
+// its own line directly above it.
+const ignoreDirective = "//det:ignore"
+
+// ignore is one parsed //det:ignore comment.
+type ignore struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	ok       bool // carries both an analyzer name and a reason
+	used     bool // suppressed at least one finding this run
+}
+
+// parseIgnores extracts every //det:ignore directive in pkg.
+func parseIgnores(pkg *Package) []*ignore {
+	var out []*ignore
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, found := strings.CutPrefix(c.Text, ignoreDirective)
+				if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				ig := &ignore{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				if len(fields) >= 1 {
+					ig.analyzer = fields[0]
+				}
+				if len(fields) >= 2 {
+					ig.reason = strings.Join(fields[1:], " ")
+					ig.ok = true
+				}
+				out = append(out, ig)
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters raw findings through the //det:ignore
+// directives of pkgs and appends the directive audit: malformed
+// directives (no reason), directives naming an unknown analyzer, and
+// well-formed directives that suppressed nothing are all findings
+// themselves, attributed to the pseudo-analyzer "ignore".
+func applyIgnores(pkgs []*Package, analyzers []*Analyzer, raw []Finding) []Finding {
+	known := make(map[string]bool)
+	for _, a := range Registry() {
+		known[a.Name] = true
+	}
+	running := make(map[string]bool)
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	var igs []*ignore
+	for _, pkg := range pkgs {
+		igs = append(igs, parseIgnores(pkg)...)
+	}
+	out := make([]Finding, 0, len(raw))
+	for _, f := range raw {
+		suppressed := false
+		for _, ig := range igs {
+			if ig.ok && ig.analyzer == f.Analyzer && ig.pos.Filename == f.Pos.Filename &&
+				(ig.pos.Line == f.Pos.Line || ig.pos.Line == f.Pos.Line-1) {
+				ig.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, ig := range igs {
+		switch {
+		case !ig.ok:
+			out = append(out, Finding{Pos: ig.pos, Analyzer: "ignore",
+				Message: "det:ignore needs an analyzer name and a reason: //det:ignore <analyzer> <reason>"})
+		case !known[ig.analyzer]:
+			out = append(out, Finding{Pos: ig.pos, Analyzer: "ignore",
+				Message: "det:ignore names unknown analyzer " + strconv.Quote(ig.analyzer)})
+		case running[ig.analyzer] && !ig.used:
+			out = append(out, Finding{Pos: ig.pos, Analyzer: "ignore",
+				Message: "det:ignore " + ig.analyzer + " suppresses no finding; delete the stale directive"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+// Package goroutine exercises the goroutine analyzer.
+package goroutine
+
+// Spawn launches concurrency outside the fabric.
+func Spawn(ch chan int) int {
+	go send(ch) // want `go statement outside the parallel fabric`
+	select {    // want `select outside the parallel fabric`
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// send is a plain helper; calling it synchronously is fine.
+func send(ch chan int) { ch <- 1 }

@@ -1,0 +1,34 @@
+// Package hotalloc exercises the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+// ring is a toy hot-path structure with a sanctioned scratch buffer.
+type ring struct {
+	buf     []int
+	scratch []int
+}
+
+// step is the annotated hot loop with every forbidden allocation.
+//
+//det:hotpath
+func (r *ring) step(x int) int {
+	tmp := make([]int, 4)            // want `make allocates in //det:hotpath ring.step`
+	r.buf = append(r.buf, x)         // want `append may grow r.buf`
+	r.scratch = append(r.scratch, x) // scratch buffers are exempt by name
+	f := func() int { return x }     // want `closure literal allocates`
+	p := &ring{}                     // want `&composite literal escapes to the heap`
+	m := map[string]int{"x": x}      // want `map literal allocates`
+	s := []int{x}                    // want `slice literal allocates`
+	_ = fmt.Sprint(x)                // want `fmt.Sprint allocates`
+	if x < 0 {
+		panic(fmt.Sprintf("bad %d", x)) // crash paths are exempt
+	}
+	return tmp[0] + f() + m["x"] + s[0] + len(p.buf)
+}
+
+// cold is unannotated: the same constructs pass here.
+func cold(x int) []int {
+	out := make([]int, 0, 1)
+	return append(out, x)
+}

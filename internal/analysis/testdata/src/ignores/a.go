@@ -1,0 +1,36 @@
+// Package ignores exercises the //det:ignore suppression syntax.
+package ignores
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter documents a sanctioned suppression: the wall-clock seed on
+// the next line is silenced by a directive that carries a reason.
+func Jitter() *rand.Rand {
+	//det:ignore unseededrand golden-file fixture for the documented escape hatch
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// Bare shows a reason-less directive: it is itself a finding and
+// suppresses nothing.
+func Bare() int {
+	// want:+1 `det:ignore needs an analyzer name and a reason`
+	//det:ignore unseededrand
+	return rand.Int() // want `draws from the process-global source`
+}
+
+// Unknown names an analyzer that does not exist.
+func Unknown() int {
+	// want:+1 `det:ignore names unknown analyzer "nosuchlint"`
+	//det:ignore nosuchlint the analyzer name is misspelled
+	return 0
+}
+
+// Stale carries a well-formed directive that suppresses nothing.
+func Stale() int {
+	// want:+1 `det:ignore unseededrand suppresses no finding`
+	//det:ignore unseededrand nothing on the next line draws randomness
+	return 0
+}

@@ -1,0 +1,73 @@
+// Package maporder exercises the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Collect appends map keys with no later sort.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends to out in map iteration order`
+	}
+	return out
+}
+
+// CollectSorted is the sanctioned collect-then-sort idiom and passes.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Print writes output in iteration order.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf writes output inside a map range`
+	}
+}
+
+// Sum accumulates commutatively and passes.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Join concatenates onto an outer string in iteration order.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `concatenates onto s in map iteration order`
+	}
+	return s
+}
+
+// MergeFaults feeds a metrics merge in map iteration order.
+func MergeFaults(m map[int]metrics.FaultStats) metrics.FaultStats {
+	var total metrics.FaultStats
+	for _, fs := range m {
+		total.Add(fs) // want `feeds metrics.Add inside a map range`
+	}
+	return total
+}
+
+// LoopLocal appends to a slice scoped inside the loop body and passes.
+func LoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Package unseededrand exercises the unseededrand analyzer.
+package unseededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Draw exercises forbidden and allowed randomness sources.
+func Draw(seed int64) int {
+	n := rand.Intn(10)                                      // want `math/rand.Intn draws from the process-global source`
+	wall := rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock`
+	good := rand.New(rand.NewSource(seed))
+	pick := rand.Float64 // want `math/rand.Float64 draws from the process-global source`
+	return n + wall.Intn(10) + good.Intn(10) + int(pick())
+}

@@ -1,0 +1,17 @@
+// Package wallclock exercises the wallclock analyzer.
+package wallclock
+
+import "time"
+
+// Stamp reads the host clock in the ways the analyzer forbids.
+func Stamp() time.Duration {
+	start := time.Now()                  // want `time.Now reads the host wall clock`
+	<-time.After(time.Millisecond)       // want `time.After reads the host wall clock`
+	t := time.NewTimer(time.Millisecond) // want `time.NewTimer reads the host wall clock`
+	t.Stop()
+	time.Sleep(0)            // want `time.Sleep reads the host wall clock`
+	return time.Since(start) // want `time.Since reads the host wall clock`
+}
+
+// Pure does only time arithmetic, which is allowed.
+func Pure(d time.Duration) time.Duration { return 2 * d }

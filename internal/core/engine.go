@@ -1099,6 +1099,10 @@ func (e *Engine) startDecodePhase() {
 	}
 }
 
+// submitDecode dispatches slot's current batch to the cluster with the
+// callback bound once at engine construction.
+//
+//det:hotpath
 func (e *Engine) submitDecode(slot int, readyAt sim.Time) {
 	ids := e.batches[slot]
 	kvTokens := 0
@@ -1108,6 +1112,11 @@ func (e *Engine) submitDecode(slot int, readyAt sim.Time) {
 	e.cluster.SubmitDecode(len(ids), kvTokens, readyAt, e.decodeDone[slot])
 }
 
+// onDecodeDone is the steady-state decode step: retire finished
+// requests, grow each survivor's KV by one token, fold in staged
+// imports, and resubmit — the tightest loop in the engine.
+//
+//det:hotpath
 func (e *Engine) onDecodeDone(slot, ep int, res runtime.PassResult) {
 	if ep != e.epoch || e.fatalErr != nil {
 		return
@@ -1133,7 +1142,7 @@ func (e *Engine) onDecodeDone(slot, ep int, res runtime.PassResult) {
 				continue
 			}
 		}
-		survivors = append(survivors, id)
+		survivors = append(survivors, id) //det:ignore hotalloc survivors reslices this batch's own backing array; no growth past the submitted batch
 	}
 	e.batches[slot] = survivors
 	e.recordKV()
@@ -1150,7 +1159,7 @@ func (e *Engine) onDecodeDone(slot, ep int, res runtime.PassResult) {
 			if st.done || st.evicted {
 				continue
 			}
-			e.batches[slot] = append(e.batches[slot], id)
+			e.batches[slot] = append(e.batches[slot], id) //det:ignore hotalloc amortized batch growth when staged imports join at a step boundary
 			e.decodeInitial++
 		}
 		e.imported = e.imported[:0]
@@ -1165,7 +1174,7 @@ func (e *Engine) onDecodeDone(slot, ep int, res runtime.PassResult) {
 	}
 
 	if e.switchToPrefil || len(e.batches[slot]) == 0 {
-		e.decodePool = append(e.decodePool, e.batches[slot]...)
+		e.decodePool = append(e.decodePool, e.batches[slot]...) //det:ignore hotalloc pool drain on phase switch, not per-token work
 		if scratchReuse {
 			e.batches[slot] = e.batches[slot][:0]
 		} else {
@@ -1173,7 +1182,7 @@ func (e *Engine) onDecodeDone(slot, ep int, res runtime.PassResult) {
 		}
 		e.activeBatches--
 		if e.activeBatches == 0 {
-			e.decodePool = append(e.decodePool, e.stealer.DrainStash()...)
+			e.decodePool = append(e.decodePool, e.stealer.DrainStash()...) //det:ignore hotalloc pool drain on phase switch, not per-token work
 			e.afterPrefillDrained()
 		}
 		return

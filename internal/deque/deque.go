@@ -61,6 +61,8 @@ func (d *Int) resize(c int) {
 }
 
 // PushBack appends v at the tail.
+//
+//det:hotpath
 func (d *Int) PushBack(v int) {
 	if d.n == len(d.buf) {
 		d.grow()
@@ -70,6 +72,8 @@ func (d *Int) PushBack(v int) {
 }
 
 // PushFront inserts v at the head.
+//
+//det:hotpath
 func (d *Int) PushFront(v int) {
 	if d.n == len(d.buf) {
 		d.grow()
@@ -89,6 +93,8 @@ func (d *Int) Front() int {
 
 // PopFront removes and returns the head element; it panics on an empty
 // deque.
+//
+//det:hotpath
 func (d *Int) PopFront() int {
 	v := d.Front()
 	d.head = (d.head + 1) & (len(d.buf) - 1)

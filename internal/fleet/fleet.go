@@ -120,6 +120,7 @@ func Run(cfg core.Config, replicas int, p Policy, reqs []workload.Request) (*Res
 	var wg sync.WaitGroup
 	for i := range shards {
 		wg.Add(1)
+		//det:ignore goroutine offline replicas run disjoint engines with no cross-talk; the WaitGroup join is the only synchronization and results land in slot order
 		go func(i int) {
 			defer wg.Done()
 			results[i], errs[i] = core.Run(cfg, shards[i].Reqs)

@@ -199,6 +199,8 @@ func (ro *onlineRouter) route(r workload.Request, origin int) {
 // each replica's KV pool — how much of r's shared prefix is resident
 // (warm blocks included, so affinity survives request completion) and
 // the free-KV headroom pool-aware policies rank on.
+//
+//det:hotpath
 func (ro *onlineRouter) snapshot(r workload.Request) []Load {
 	for i := range ro.engines {
 		l := ro.outstanding[i]
@@ -211,6 +213,8 @@ func (ro *onlineRouter) snapshot(r workload.Request) []Load {
 
 // finished is the engines' completion hook: it retires the request's
 // contribution from its replica's counters in O(1).
+//
+//det:hotpath
 func (ro *onlineRouter) finished(replica, local int) {
 	en := ro.entries[replica][local]
 	ro.outstanding[replica].Requests--

@@ -233,6 +233,7 @@ type Worker struct {
 // NewWorker starts a worker goroutine and returns its handle.
 func NewWorker() *Worker {
 	w := &Worker{inbox: make(chan call)}
+	//det:ignore goroutine mailbox transport is an explicit actor boundary; one worker drains one channel so message order is the caller's call order
 	go w.loop()
 	return w
 }

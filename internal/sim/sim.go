@@ -100,27 +100,33 @@ func (e *Engine) Steps() uint64 { return e.steps }
 
 // alloc takes a body slot from the free list, growing the arena only
 // when no completed event can be recycled.
+//
+//det:hotpath
 func (e *Engine) alloc() int32 {
 	if i := e.free; i >= 0 {
 		e.free = e.arena[i].next
 		return i
 	}
-	e.arena = append(e.arena, event{})
+	e.arena = append(e.arena, event{}) //det:ignore hotalloc amortized arena growth; steady state recycles slots off the free list
 	return int32(len(e.arena) - 1)
 }
 
 // recycle clears a completed body (releasing fn/ctx to the GC) and
 // pushes its slot onto the free list.
+//
+//det:hotpath
 func (e *Engine) recycle(i int32) {
 	e.arena[i] = event{next: e.free}
 	e.free = i
 }
 
 // push inserts a heap entry for body idx at time t.
+//
+//det:hotpath
 func (e *Engine) push(t Time, idx int32) {
 	e.seq++
 	ent := entry{at: t, seq: e.seq, idx: idx}
-	e.heap = append(e.heap, ent)
+	e.heap = append(e.heap, ent) //det:ignore hotalloc amortized heap growth; steady state reuses the popped slot's capacity
 	i := len(e.heap) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -134,6 +140,8 @@ func (e *Engine) push(t Time, idx int32) {
 }
 
 // pop removes and returns the earliest entry.
+//
+//det:hotpath
 func (e *Engine) pop() entry {
 	top := e.heap[0]
 	n := len(e.heap) - 1
@@ -182,6 +190,8 @@ func (e *Engine) At(t Time, fn func()) {
 // scheduling primitive: unlike At no closure is allocated, so with a
 // package-level cb and a pointer ctx the event costs only a recycled
 // arena slot. Scheduling in the past panics, as with At.
+//
+//det:hotpath
 func (e *Engine) AtFunc(t Time, cb EventFunc, ctx any, a, b int) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -202,6 +212,8 @@ func (e *Engine) After(d Duration, fn func()) {
 
 // AfterFunc schedules cb(ctx, a, b) d seconds from now, allocation-free
 // like AtFunc.
+//
+//det:hotpath
 func (e *Engine) AfterFunc(d Duration, cb EventFunc, ctx any, a, b int) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -222,6 +234,8 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // dispatch advances the clock to ent and invokes its callback. The body
 // is copied out and recycled first, so callbacks are free to schedule
 // new events into the just-vacated slot.
+//
+//det:hotpath
 func (e *Engine) dispatch(ent entry) {
 	if ent.at < e.now {
 		panic("sim: event heap time went backwards")
